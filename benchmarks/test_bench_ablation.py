@@ -1,0 +1,40 @@
+"""Ablation benchmark — the design choices DESIGN.md calls out.
+
+Not a paper figure: these isolate the paper's individual design decisions
+(PMOS degeneration, transmission-gate load, TIA power gating) and confirm
+each pulls in the direction the paper claims, plus a process-corner sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import record_comparison
+
+from repro.experiments.ablation import run_ablation
+
+
+def test_bench_ablation_design_choices(benchmark, design) -> None:
+    """Run every ablation study and check the claimed directions."""
+    result = benchmark(run_ablation, design)
+
+    record_comparison("ablation", "degeneration IIP3 benefit (dB)",
+                      "> 0", result.degeneration.linearity_benefit_db)
+    record_comparison("ablation", "TG vs NMOS load flatness ratio",
+                      "> 1", result.load_flatness.improvement_ratio)
+    record_comparison("ablation", "TIA gating saving (mW)",
+                      3.96, result.tia_gating.power_saving_mw)
+
+    # Degeneration buys gm-stage linearity and costs gain (section II.B).
+    assert result.degeneration.linearity_benefit_db > 1.0
+    assert result.degeneration.gain_cost_db > 1.0
+    # The transmission gate keeps the load resistance far flatter across the
+    # 1.2 V range than a single NMOS (the abstract's headroom argument).
+    assert result.load_flatness.improvement_ratio > 2.0
+    # Switching the TIA off in active mode saves its full branch power.
+    expected_saving = design.tia_supply_current * design.vdd * 1e3
+    assert abs(result.tia_gating.power_saving_mw - expected_saving) < 1e-9
+    # Corners: the mode ordering survives process variation.
+    for point in result.corners:
+        assert point.active_gain_db > point.passive_gain_db
+        assert point.active_nf_db < point.passive_nf_db
+        assert point.passive_iip3_dbm > 0.0
+    assert len(result.corners) == 3

@@ -1,0 +1,47 @@
+"""Benchmark for Fig. 8 — conversion gain vs RF frequency, both modes.
+
+Paper values: peak/in-band conversion gain 29.2 dB (active) and 25.5 dB
+(passive); -3 dB RF bands of 1-5.5 GHz and 0.5-5.1 GHz.
+"""
+
+from __future__ import annotations
+
+from conftest import record_comparison
+
+from repro.core.config import MixerMode, PAPER_TARGETS_ACTIVE, PAPER_TARGETS_PASSIVE
+from repro.experiments.fig8_gain_vs_rf import run_fig8
+
+
+def test_bench_fig8_conversion_gain_vs_rf(benchmark, design) -> None:
+    """Regenerate the Fig. 8 sweep and check the paper's shape."""
+    result = benchmark(run_fig8, design)
+
+    active_gain = result.gain_at(MixerMode.ACTIVE, 2.45e9)
+    passive_gain = result.gain_at(MixerMode.PASSIVE, 2.45e9)
+    record_comparison("fig8", "active gain @2.45GHz (dB)",
+                      PAPER_TARGETS_ACTIVE.conversion_gain_db, active_gain)
+    record_comparison("fig8", "passive gain @2.45GHz (dB)",
+                      PAPER_TARGETS_PASSIVE.conversion_gain_db, passive_gain)
+
+    active_band = result.band_edges_hz(MixerMode.ACTIVE)
+    passive_band = result.band_edges_hz(MixerMode.PASSIVE)
+    record_comparison("fig8", "active -3dB band (GHz)",
+                      f"{PAPER_TARGETS_ACTIVE.band_low_ghz}-"
+                      f"{PAPER_TARGETS_ACTIVE.band_high_ghz}",
+                      f"{active_band[0] / 1e9:.2f}-{active_band[1] / 1e9:.2f}")
+    record_comparison("fig8", "passive -3dB band (GHz)",
+                      f"{PAPER_TARGETS_PASSIVE.band_low_ghz}-"
+                      f"{PAPER_TARGETS_PASSIVE.band_high_ghz}",
+                      f"{passive_band[0] / 1e9:.2f}-{passive_band[1] / 1e9:.2f}")
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert abs(active_gain - PAPER_TARGETS_ACTIVE.conversion_gain_db) < 1.0
+    assert abs(passive_gain - PAPER_TARGETS_PASSIVE.conversion_gain_db) < 1.0
+    assert active_gain > passive_gain + 2.0
+    # Band edges within ~25 % of the paper's.
+    assert abs(active_band[0] - 1.0e9) < 0.3e9
+    assert abs(active_band[1] - 5.5e9) < 1.4e9
+    assert abs(passive_band[0] - 0.5e9) < 0.2e9
+    assert abs(passive_band[1] - 5.1e9) < 1.3e9
+    # Passive mode reaches lower in frequency than active (paper: 0.5 vs 1 GHz).
+    assert passive_band[0] < active_band[0]

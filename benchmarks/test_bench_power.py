@@ -1,0 +1,34 @@
+"""Benchmark for the power-consumption text claims.
+
+Paper: 9.36 mW in active mode, 9.24 mW in passive mode at 1.2 V; the TIA
+draws 3.3 mA and is powered down in active mode to save power.
+"""
+
+from __future__ import annotations
+
+from conftest import record_comparison
+
+from repro.core.config import PAPER_TARGETS_ACTIVE, PAPER_TARGETS_PASSIVE
+from repro.experiments.power_budget import run_power_budget
+
+
+def test_bench_power_budget(benchmark, design) -> None:
+    """Regenerate the per-mode power budget."""
+    result = benchmark(run_power_budget, design)
+
+    record_comparison("power", "active total (mW)",
+                      PAPER_TARGETS_ACTIVE.power_mw, result.active_total_mw)
+    record_comparison("power", "passive total (mW)",
+                      PAPER_TARGETS_PASSIVE.power_mw, result.passive_total_mw)
+    record_comparison("power", "TIA branch (mW)", 3.3 * 1.2, result.tia_power_mw)
+
+    deltas = result.delta_vs_paper_mw()
+    assert abs(deltas["active"]) < 0.2
+    assert abs(deltas["passive"]) < 0.2
+    # The paper's TIA current (3.3 mA at 1.2 V).
+    assert abs(result.tia_power_mw - 3.3 * 1.2) < 1e-9
+    # Active mode spends its budget on the Gilbert core instead of the TIA;
+    # the two modes end up within ~0.2 mW of each other (9.36 vs 9.24).
+    assert result.active.tia_a == 0.0
+    assert result.passive.gilbert_core_a == 0.0
+    assert abs(result.active_total_mw - result.passive_total_mw) < 0.5

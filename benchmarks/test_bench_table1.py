@@ -1,0 +1,49 @@
+"""Benchmark for Table I — simulation results and comparison with prior work."""
+
+from __future__ import annotations
+
+from conftest import record_comparison
+
+from repro.core.config import PAPER_TARGETS_ACTIVE, PAPER_TARGETS_PASSIVE
+from repro.experiments.table1_comparison import TABLE_I_ROWS, run_table1
+
+
+def test_bench_table1_comparison(benchmark, design) -> None:
+    """Regenerate Table I and check every row of the "this work" columns."""
+    result = benchmark(run_table1, design)
+
+    for specs, targets in ((result.this_work_active, PAPER_TARGETS_ACTIVE),
+                           (result.this_work_passive, PAPER_TARGETS_PASSIVE)):
+        label = f"table1 ({specs.mode.value})"
+        record_comparison(label, "gain (dB)", targets.conversion_gain_db,
+                          specs.conversion_gain_db)
+        record_comparison(label, "NF (dB)", targets.noise_figure_db,
+                          specs.noise_figure_db)
+        record_comparison(label, "IIP3 (dBm)", targets.iip3_dbm, specs.iip3_dbm)
+        record_comparison(label, "1dB-CP (dBm)", targets.p1db_dbm, specs.p1db_dbm)
+        record_comparison(label, "power (mW)", targets.power_mw, specs.power_mw)
+
+    deviations = result.deviations_from_paper()
+    for mode, rows in deviations.items():
+        assert abs(rows["gain_db"]) < 1.0, mode
+        assert abs(rows["nf_db"]) < 1.0, mode
+        assert abs(rows["iip3_dbm"]) < 2.5, mode
+        assert abs(rows["p1db_dbm"]) < 4.0, mode
+        assert abs(rows["power_mw"]) < 0.5, mode
+
+    # The table has the full set of columns and rows.
+    assert len(result.columns) == 10
+    for column in result.columns:
+        for key in TABLE_I_ROWS:
+            assert key in column
+
+    # Comparison claims that hold in the paper's table: this work (active)
+    # has the second-highest gain after [4], and the reconfigurable design's
+    # passive mode is competitive on IIP3 with the dedicated passive mixers.
+    assert result.highest_gain_design() == "[4]"
+    gains = {str(c["design"]): c["gain_db"] for c in result.columns
+             if isinstance(c["gain_db"], (int, float))}
+    assert sorted(gains, key=gains.get, reverse=True)[1] == "This work (active)"
+    passive_iip3 = result.this_work_passive.iip3_dbm
+    for reference in ("[5]", "[6]"):
+        assert passive_iip3 > result.column(reference)["iip3_dbm"] - 3.5

@@ -1,0 +1,34 @@
+"""Benchmark for equation (4) — the TIA closed-loop input impedance.
+
+The virtual-ground claim: the TIA presents a very low impedance to the
+passive mixer core, and the analytic expression agrees with an MNA circuit
+simulation of the closed loop built from the library's own circuit engine.
+"""
+
+from __future__ import annotations
+
+from conftest import record_comparison
+
+from repro.experiments.tia_response import run_tia_response
+
+
+def test_bench_tia_input_impedance(benchmark, design) -> None:
+    """Evaluate equation (4) analytically and with the MNA engine."""
+    result = benchmark(run_tia_response, design)
+
+    record_comparison("eq4", "|Z_in| @100kHz (ohm)", "<< R_F (low)",
+                      result.zin_at(1e5))
+    record_comparison("eq4", "|Z_in| @5MHz (ohm)", "low (virtual ground)",
+                      result.zin_at(5e6))
+    record_comparison("eq4", "analytic vs MNA error (%)", "< 10",
+                      result.worst_relative_error * 100.0)
+
+    # Virtual ground: orders of magnitude below R_F across the IF band.
+    assert result.zin_at(1e5) < design.feedback_resistance / 100.0
+    assert result.zin_at(5e6) < design.feedback_resistance / 10.0
+    # The impedance rises with frequency as the loop gain falls (eq. 4).
+    assert result.zin_at(5e6) > result.zin_at(1e5)
+    # The MNA circuit model and the analytic expression agree.
+    assert result.worst_relative_error < 0.10
+    # The R_F C_F pole (anti-aliasing bandwidth) sits in the tens of MHz.
+    assert 5e6 < result.if_bandwidth_hz < 60e6

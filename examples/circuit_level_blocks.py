@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Circuit-level exploration of the mixer's building blocks.
+
+The figure-level experiments use the behavioural mixer model, but the
+library also ships a small MNA circuit engine and 65 nm-class device models.
+This example uses them the way a designer would while sizing the blocks:
+
+* bias the transconductance devices and inspect gm / gm-over-Id;
+* size the PMOS degeneration switch and the transmission-gate load and look
+  at their resistance across the signal range (the 1.2 V headroom argument);
+* sweep the closed-loop TIA input impedance (equation 4) with the circuit
+  engine and compare with the analytic expression;
+* solve a resistive-divider + MOSFET bias circuit with the DC solver.
+
+Run with::
+
+    python examples/circuit_level_blocks.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit import (
+    Circuit,
+    MosfetElement,
+    ResistorElement,
+    VoltageSource,
+    dc_operating_point,
+)
+from repro.core.config import MixerDesign
+from repro.core.switches import PmosSwitch, TransmissionGate
+from repro.core.transconductance import TransconductanceAmplifier
+from repro.devices.mosfet import Mosfet
+from repro.experiments.tia_response import format_report, run_tia_response
+
+
+def bias_the_transconductor(design: MixerDesign) -> None:
+    """Size and bias the Gm devices from the design targets."""
+    tca = TransconductanceAmplifier(design)
+    point = tca.bias_point
+    print("Transconductance amplifier bias")
+    print(f"  device: W = {tca.device.params.width * 1e6:.1f} um, "
+          f"L = {tca.device.params.length * 1e9:.0f} nm")
+    print(f"  Vgs = {point.vgs:.3f} V, Vov = {point.vov:.3f} V, "
+          f"Id = {point.id * 1e3:.2f} mA")
+    print(f"  gm = {point.gm * 1e3:.2f} mS (target {design.tca_gm * 1e3:.1f} mS), "
+          f"gm/Id = {point.gm_over_id:.1f} 1/V, ro = {point.ro / 1e3:.1f} kohm")
+    print(f"  stand-alone IIP3 of the stage: {tca.iip3_dbm():.1f} dBm")
+
+
+def switch_headroom(design: MixerDesign) -> None:
+    """Show why the transmission gate is used as the 1.2 V load."""
+    print("\nSwitch sizing and headroom at 1.2 V")
+    pmos = PmosSwitch.sized_for_degeneration(design.degeneration_resistance,
+                                             technology=design.technology)
+    print(f"  PMOS degeneration switch: W = {pmos.width * 1e6:.1f} um -> "
+          f"R_on = {pmos.on_resistance():.1f} ohm at mid-rail")
+
+    tg = TransmissionGate.sized_for_load(design.load_resistance,
+                                         technology=design.technology)
+    print(f"  transmission-gate load: R(mid-rail) = {tg.on_resistance():.0f} ohm, "
+          f"flatness max/min = {tg.resistance_flatness():.2f}")
+    voltages = np.linspace(0.15, 1.05, 7)
+    profile = ", ".join(f"{v:.2f}V:{tg.on_resistance(float(v)):.0f}"
+                        for v in voltages)
+    print(f"  R_TG across the signal range (ohm): {profile}")
+
+
+def dc_solver_demo(design: MixerDesign) -> None:
+    """Solve a diode-connected bias branch with the MNA DC solver."""
+    print("\nDC operating point of a diode-connected bias branch")
+    technology = design.technology
+    circuit = Circuit("bias-branch")
+    circuit.add(VoltageSource("vdd", "vdd", "0", dc=technology.vdd))
+    circuit.add(ResistorElement("rbias", "vdd", "gate", 2.0e3))
+    device = Mosfet.nmos(30e-6, 100e-9, technology)
+    circuit.add(MosfetElement("m1", "gate", "gate", "0", device))
+    solution = dc_operating_point(circuit)
+    vgs = solution.voltage("gate")
+    op = device.operating_point(vgs, vgs)
+    print(f"  converged in {solution.iterations} iterations: "
+          f"V(gate) = {vgs:.3f} V, Id = {op.id * 1e3:.2f} mA, "
+          f"region = {op.region.value}")
+    print(f"  supply delivers {solution.supply_power() * 1e3:.2f} mW")
+
+
+def main() -> None:
+    design = MixerDesign()
+    bias_the_transconductor(design)
+    switch_headroom(design)
+    dc_solver_demo(design)
+    print()
+    print(format_report(run_tia_response(design)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: build the reconfigurable mixer and read its headline specs.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the public API end to end:
+
+1. create the default design point (the paper's 65 nm / 1.2 V operating
+   point);
+2. instantiate the reconfigurable mixer in each mode;
+3. print the Table I quantities next to the numbers the paper reports;
+4. perform one real waveform-level measurement (conversion gain of a
+   -40 dBm tone at 2.405 GHz) to show the measurement bench in action.
+"""
+
+from __future__ import annotations
+
+from repro import MixerDesign, MixerMode, ReconfigurableMixer
+from repro.core.config import paper_targets
+from repro.rf.conversion_gain import measure_conversion_gain
+
+
+def describe_mode(mixer: ReconfigurableMixer) -> None:
+    """Print the analytic specs of one mode next to the paper's numbers."""
+    specs = mixer.specs()
+    targets = paper_targets(mixer.mode)
+    print(f"\n=== {mixer.mode.value.upper()} mode "
+          f"(Vlogic = {mixer.vlogic}) ===")
+    rows = [
+        ("conversion gain (dB)", specs.conversion_gain_db,
+         targets.conversion_gain_db),
+        ("noise figure @5 MHz (dB)", specs.noise_figure_db,
+         targets.noise_figure_db),
+        ("IIP3 (dBm)", specs.iip3_dbm, targets.iip3_dbm),
+        ("1 dB compression (dBm)", specs.p1db_dbm, targets.p1db_dbm),
+        ("power (mW)", specs.power_mw, targets.power_mw),
+        ("band low (GHz)", specs.band_low_hz / 1e9, targets.band_low_ghz),
+        ("band high (GHz)", specs.band_high_hz / 1e9, targets.band_high_ghz),
+    ]
+    print(f"  {'parameter':<28} {'this library':>14} {'paper':>10}")
+    for label, measured, paper in rows:
+        print(f"  {label:<28} {measured:>14.2f} {paper:>10.2f}")
+    print(f"  flicker corner: {specs.flicker_corner_hz / 1e3:.0f} kHz"
+          f"   IIP2: {specs.iip2_dbm:.1f} dBm")
+
+
+def waveform_measurement(mixer: ReconfigurableMixer) -> None:
+    """Measure conversion gain from an actual sampled waveform."""
+    sample_rate = 10.24e9       # 10.24 GS/s -> exact 1 MHz FFT bins
+    num_samples = 10240
+    device = mixer.waveform_device(sample_rate, lo_frequency=2.4e9,
+                                   rf_band_frequency=2.405e9)
+    gain = measure_conversion_gain(device, rf_frequency=2.405e9,
+                                   if_frequency=5e6, input_power_dbm=-40.0,
+                                   sample_rate=sample_rate,
+                                   num_samples=num_samples)
+    print(f"  waveform-measured conversion gain ({mixer.mode.value}): "
+          f"{gain:.2f} dB")
+
+
+def main() -> None:
+    design = MixerDesign()
+    print("Reconfigurable active/passive mixer — quickstart")
+    print(f"technology: {design.technology.name}, supply {design.vdd} V, "
+          f"LO {design.lo_frequency / 1e9:.2f} GHz, "
+          f"IF {design.if_frequency / 1e6:.1f} MHz")
+
+    mixer = ReconfigurableMixer(design, MixerMode.ACTIVE)
+    describe_mode(mixer)
+    waveform_measurement(mixer)
+
+    # One call flips Vlogic, powers the TIA up and re-routes the signal path.
+    mixer.reconfigure()
+    describe_mode(mixer)
+    waveform_measurement(mixer)
+
+    print("\nThe trade: active mode buys ~3.7 dB more gain and ~2.5 dB lower "
+          "NF; passive mode buys ~18 dB better IIP3 at almost the same power.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — behavioural reproduction of the 1.2 V wide-band reconfigurable mixer.
+
+This library reproduces, at the behavioural-simulation level, the system
+described in *"A 1.2V Wide-Band Reconfigurable Mixer for Wireless Application
+in 65nm CMOS Technology"* (Gupta, Kumar, Dutta, Singh — SOCC 2015): a
+down-conversion mixer that can be reconfigured between an active
+(Gilbert-cell) mode and a passive (current-commutating) mode, trading gain
+and noise figure against linearity for multi-standard IoT receivers.
+
+Top-level convenience imports cover the objects most users need:
+
+>>> from repro import ReconfigurableMixer, MixerMode
+>>> mixer = ReconfigurableMixer(mode=MixerMode.PASSIVE)
+>>> round(mixer.conversion_gain_db(), 1)    # doctest: +SKIP
+25.5
+
+Sub-packages
+------------
+``repro.core``
+    The paper's contribution: the reconfigurable mixer and its blocks.
+``repro.devices``
+    65 nm-class behavioural device models (MOSFET, passives, noise).
+``repro.circuit``
+    A small MNA circuit-simulation substrate (DC / AC / transient).
+``repro.rf``
+    RF measurement toolkit (spectra, two-tone, NF, conversion gain).
+``repro.baselines``
+    Behavioural models of the comparison designs in the paper's Table I.
+``repro.experiments``
+    One driver per paper figure/table; used by the benchmark harness.
+"""
+
+from repro.core.config import MixerDesign, MixerMode, default_design
+from repro.core.reconfigurable_mixer import MixerSpecs, ReconfigurableMixer
+from repro.core.frontend import WidebandReceiverFrontEnd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MixerDesign",
+    "MixerMode",
+    "MixerSpecs",
+    "ReconfigurableMixer",
+    "WidebandReceiverFrontEnd",
+    "default_design",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Behavioural models of the comparison designs in the paper's Table I.
+
+The paper compares its reconfigurable mixer against eight published mixers
+(references [2]-[6], [10]-[12]).  We obviously cannot re-simulate those
+transistor-level designs, but the comparison itself is reproducible: each
+baseline is a :class:`~repro.baselines.base.BaselineMixer` carrying the
+published operating point (gain, NF, IIP3, P1dB, power, bandwidth, process,
+supply) and exposing the same behavioural interface as our mixer — a
+waveform-level transfer built from those numbers — so the Table I harness
+exercises one code path for every row.
+
+* :mod:`repro.baselines.base` — the common baseline interface;
+* :mod:`repro.baselines.published` — the spec database for refs [2]-[12];
+* :mod:`repro.baselines.gilbert` — a parameterised active Gilbert-cell
+  mixer (the family refs [3], [4] belong to);
+* :mod:`repro.baselines.passive_current_commutating` — a parameterised
+  passive current-commutating mixer with TIA (the family of refs [5], [6]);
+* :mod:`repro.baselines.variable_gain` — variable-conversion-gain mixers
+  (refs [10], [11], [12]).
+"""
+
+from repro.baselines.base import BaselineMixer, BaselineSpec
+from repro.baselines.published import (
+    PUBLISHED_BASELINES,
+    published_baseline,
+    published_references,
+)
+from repro.baselines.gilbert import GilbertCellMixer
+from repro.baselines.passive_current_commutating import PassiveCurrentCommutatingMixer
+from repro.baselines.variable_gain import VariableGainMixer
+
+__all__ = [
+    "BaselineMixer",
+    "BaselineSpec",
+    "PUBLISHED_BASELINES",
+    "published_baseline",
+    "published_references",
+    "GilbertCellMixer",
+    "PassiveCurrentCommutatingMixer",
+    "VariableGainMixer",
+]

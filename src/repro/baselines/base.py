@@ -1,0 +1,179 @@
+"""Common interface for baseline (comparison) mixers.
+
+A baseline is described by its published specification and behaves, for
+measurement purposes, like any other mixer in this library: it can report
+its specs as a Table I row and can be turned into a waveform-level device
+whose measured conversion gain / IIP3 / compression match the published
+numbers.  That keeps the comparison harness honest — it runs the same
+measurement code on "this work" and on every reference row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.rf.blocks import BehavioralBlock
+from repro.rf.filters import FirstOrderLowPass
+from repro.units import vpeak_from_dbm
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """Published operating point of a comparison design.
+
+    ``None`` fields correspond to "NA" entries in the paper's table.
+    Range-valued publications (e.g. gain 9-24 dB) are represented by their
+    midpoint with the range kept in ``notes``.
+    """
+
+    reference: str
+    description: str
+    gain_db: float
+    nf_db: float | None
+    iip3_dbm: float | None
+    p1db_dbm: float | None
+    power_mw: float
+    band_low_ghz: float
+    band_high_ghz: float
+    technology: str
+    supply_v: float
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.band_low_ghz <= 0 or self.band_high_ghz <= self.band_low_ghz:
+            raise ValueError(f"{self.reference}: band edges out of order")
+        if self.power_mw <= 0:
+            raise ValueError(f"{self.reference}: power must be positive")
+
+    def as_table_row(self) -> dict[str, float | str | None]:
+        """Row for the Table I comparison harness."""
+        return {
+            "design": self.reference,
+            "gain_db": self.gain_db,
+            "nf_db": self.nf_db,
+            "iip3_dbm": self.iip3_dbm,
+            "p1db_dbm": self.p1db_dbm,
+            "power_mw": self.power_mw,
+            "band_low_ghz": self.band_low_ghz,
+            "band_high_ghz": self.band_high_ghz,
+            "technology": self.technology,
+            "supply_v": self.supply_v,
+        }
+
+
+class BaselineMixer:
+    """A behavioural mixer reconstructed from a published specification."""
+
+    def __init__(self, spec: BaselineSpec,
+                 if_bandwidth_hz: float = 20e6) -> None:
+        if if_bandwidth_hz <= 0:
+            raise ValueError("IF bandwidth must be positive")
+        self.spec = spec
+        self.if_bandwidth_hz = if_bandwidth_hz
+
+    # -- spec accessors (same names as ReconfigurableMixer where sensible) ----
+
+    def conversion_gain_db(self, rf_frequency: float | None = None,
+                           if_frequency: float | None = None) -> float:
+        """Conversion gain (dB), with simple band-edge roll-off when RF given."""
+        gain = self.spec.gain_db
+        if rf_frequency is not None:
+            low = self.spec.band_low_ghz * 1e9
+            high = self.spec.band_high_ghz * 1e9
+            ratio_low = rf_frequency / low
+            ratio_high = rf_frequency / high
+            highpass = ratio_low / math.sqrt(1.0 + ratio_low ** 2)
+            lowpass = 1.0 / math.sqrt(1.0 + ratio_high ** 4)
+            gain += 20.0 * math.log10(highpass * lowpass)
+        if if_frequency is not None:
+            roll = 1.0 / math.sqrt(1.0 + (if_frequency / self.if_bandwidth_hz) ** 2)
+            gain += 20.0 * math.log10(roll)
+        return gain
+
+    def noise_figure_db(self, if_frequency: float | None = None) -> float:
+        """Published noise figure (dB); raises if the paper did not report one."""
+        if self.spec.nf_db is None:
+            raise ValueError(f"{self.spec.reference} does not report a noise figure")
+        return self.spec.nf_db
+
+    def iip3_dbm(self) -> float:
+        """Published IIP3 (dBm); +inf when not reported."""
+        return self.spec.iip3_dbm if self.spec.iip3_dbm is not None else math.inf
+
+    def p1db_dbm(self) -> float:
+        """Published (or IIP3-derived) input compression point (dBm)."""
+        if self.spec.p1db_dbm is not None:
+            return self.spec.p1db_dbm
+        if self.spec.iip3_dbm is not None:
+            return self.spec.iip3_dbm - 9.6
+        return math.inf
+
+    def power_mw(self) -> float:
+        """Published power consumption (mW)."""
+        return self.spec.power_mw
+
+    def band_edges(self) -> tuple[float, float]:
+        """Published RF band edges (Hz)."""
+        return self.spec.band_low_ghz * 1e9, self.spec.band_high_ghz * 1e9
+
+    def figure_of_merit(self) -> float:
+        """A standard mixer FoM: gain + IIP3 - NF - 10 log10(P/1mW).
+
+        Used by the comparison experiment to rank designs; rows missing IIP3
+        or NF are scored with conservative substitutes (0 dBm / 15 dB).
+        """
+        iip3 = self.spec.iip3_dbm if self.spec.iip3_dbm is not None else 0.0
+        nf = self.spec.nf_db if self.spec.nf_db is not None else 15.0
+        return self.spec.gain_db + iip3 - nf - 10.0 * math.log10(self.spec.power_mw)
+
+    # -- behavioural views -------------------------------------------------------
+
+    def as_block(self) -> BehavioralBlock:
+        """Behavioural-block view for cascade studies."""
+        return BehavioralBlock(
+            name=self.spec.reference,
+            gain_db=self.spec.gain_db,
+            nf_db=self.spec.nf_db if self.spec.nf_db is not None else 15.0,
+            iip3_dbm=self.spec.iip3_dbm,
+        )
+
+    def waveform_device(self, sample_rate: float, lo_frequency: float,
+                        ) -> Callable[[np.ndarray], np.ndarray]:
+        """Waveform-level model: polynomial nonlinearity + ideal commutation.
+
+        Enough to let the comparison harness measure the published gain and
+        IIP3 back out of a spectrum, confirming the row is internally
+        consistent with the measurement pipeline used for "this work".
+        """
+        if sample_rate <= 0 or lo_frequency <= 0:
+            raise ValueError("sample rate and LO frequency must be positive")
+        if lo_frequency >= sample_rate / 2.0:
+            raise ValueError("LO must be below Nyquist")
+        gain_linear = 10.0 ** (self.spec.gain_db / 20.0)
+        a3 = 0.0
+        if self.spec.iip3_dbm is not None:
+            amplitude = float(vpeak_from_dbm(self.spec.iip3_dbm))
+            a3 = -4.0 / (3.0 * amplitude ** 2)
+        if_filter = FirstOrderLowPass(dc_gain=1.0,
+                                      pole_frequency=self.if_bandwidth_hz)
+
+        def device(waveform: np.ndarray) -> np.ndarray:
+            original = np.asarray(waveform, dtype=float)
+            v = np.concatenate([original, original])
+            v = v + a3 * v ** 3
+            times = np.arange(v.size) / sample_rate
+            # Fundamental-only switching function (2/pi built into the 4/pi
+            # coefficient times the 1/2 from the product-to-sum identity).
+            lo_wave = (4.0 / math.pi) * np.cos(2.0 * math.pi * lo_frequency * times)
+            mixed = v * lo_wave * (gain_linear / (2.0 / math.pi))
+            out = if_filter.apply(mixed, sample_rate)
+            return out[original.size:]
+
+        return device
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BaselineMixer({self.spec.reference!r})"

@@ -1,0 +1,110 @@
+"""A parameterised passive current-commutating mixer baseline.
+
+The family the paper's passive mode belongs to (and that references [5] and
+[6] exemplify): a Gm stage, a DC-current-free switching quad and a
+transimpedance load.  Unlike :class:`repro.core.ReconfigurableMixer` this
+baseline cannot switch modes — it is the "dedicated passive mixer" a system
+designer would otherwise have to instantiate next to a dedicated active one,
+which is exactly the duplication the paper's reconfigurable circuit avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.base import BaselineMixer, BaselineSpec
+from repro.rf.conversion_gain import SWITCHING_FACTOR
+from repro.units import db_from_voltage_ratio, dbm_from_vpeak
+
+
+@dataclass(frozen=True)
+class PassiveCurrentCommutatingMixer:
+    """A dedicated passive current-commutating mixer with a TIA load.
+
+    Attributes
+    ----------
+    gm:
+        Transconductance of the input stage (S).
+    degeneration_resistance:
+        Source/series degeneration (ohms) — the linearity knob.
+    feedback_resistance:
+        TIA feedback resistance Z_F (ohms) — the gain knob.
+    switch_on_resistance:
+        Quad switch on-resistance (ohms) — a noise contributor.
+    gm_bias_current / tia_current:
+        Supply currents (A).
+    supply_voltage:
+        Supply (V).
+    gamma:
+        Channel-noise factor.
+    """
+
+    gm: float = 15e-3
+    degeneration_resistance: float = 50.0
+    feedback_resistance: float = 3.7e3
+    switch_on_resistance: float = 40.0
+    gm_bias_current: float = 4.4e-3
+    tia_current: float = 3.3e-3
+    supply_voltage: float = 1.8
+    gamma: float = 1.1
+
+    def __post_init__(self) -> None:
+        if min(self.gm, self.feedback_resistance, self.gm_bias_current,
+               self.tia_current, self.supply_voltage) <= 0:
+            raise ValueError("all parameters must be positive")
+        if self.degeneration_resistance < 0 or self.switch_on_resistance < 0:
+            raise ValueError("resistances cannot be negative")
+
+    @property
+    def effective_gm(self) -> float:
+        """Degenerated transconductance (S)."""
+        return self.gm / (1.0 + self.gm * self.degeneration_resistance)
+
+    def conversion_gain_db(self) -> float:
+        """Voltage conversion gain ``(2/pi) gm_eff R_F`` in dB (equation 3)."""
+        return float(db_from_voltage_ratio(
+            SWITCHING_FACTOR * self.effective_gm * self.feedback_resistance))
+
+    def noise_figure_db(self, source_resistance: float = 50.0) -> float:
+        """DSB NF estimate (dB) including switch and degeneration noise."""
+        conversion = SWITCHING_FACTOR * self.effective_gm
+        factor = 1.0 \
+            + 2.0 * self.gamma / (self.gm * source_resistance) \
+            + 2.0 * self.degeneration_resistance / source_resistance \
+            + 4.0 * self.switch_on_resistance / source_resistance \
+            + 0.5 \
+            + 2.0 / (conversion ** 2 * self.feedback_resistance * source_resistance)
+        return 10.0 * math.log10(factor)
+
+    def iip3_dbm(self) -> float:
+        """IIP3 estimate (dBm): degenerated input stage plus switch modulation."""
+        base_amplitude = 2.0 * math.sqrt(0.2)  # undegenerated device estimate
+        improved = base_amplitude * (1.0 + self.gm * self.degeneration_resistance)
+        switch_amplitude = 1.0  # ~ +10 dBm switch-limited ceiling
+        total = 1.0 / math.sqrt(1.0 / improved ** 2 + 1.0 / switch_amplitude ** 2)
+        return float(dbm_from_vpeak(total))
+
+    def power_mw(self) -> float:
+        """Supply power (mW)."""
+        return (self.gm_bias_current + self.tia_current) * self.supply_voltage * 1e3
+
+    def as_spec(self, reference: str = "passive-baseline") -> BaselineSpec:
+        """Freeze the derived numbers into a :class:`BaselineSpec`."""
+        return BaselineSpec(
+            reference=reference,
+            description="dedicated passive current-commutating mixer with TIA",
+            gain_db=self.conversion_gain_db(),
+            nf_db=self.noise_figure_db(),
+            iip3_dbm=self.iip3_dbm(),
+            p1db_dbm=self.iip3_dbm() - 9.6,
+            power_mw=self.power_mw(),
+            band_low_ghz=0.5,
+            band_high_ghz=5.0,
+            technology="65nm (behavioural)",
+            supply_v=self.supply_voltage,
+        )
+
+    def as_baseline(self) -> BaselineMixer:
+        """Behavioural baseline mixer with the derived specification."""
+        return BaselineMixer(self.as_spec())

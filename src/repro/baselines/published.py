@@ -1,0 +1,146 @@
+"""Published specifications of the comparison designs (Table I columns).
+
+The numbers are transcribed from the paper's Table I.  Range entries keep
+the range in ``notes`` and use the midpoint as the scalar value; "NA"
+entries become ``None``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineMixer, BaselineSpec
+
+#: All comparison designs from Table I, keyed by the reference tag used in
+#: the paper.
+PUBLISHED_BASELINES: dict[str, BaselineSpec] = {
+    "[2]": BaselineSpec(
+        reference="[2]",
+        description="Hampel et al., low-voltage inductorless folded mixer (RFIC 2009)",
+        gain_db=14.5,
+        nf_db=6.5,
+        iip3_dbm=None,
+        p1db_dbm=-13.8,
+        power_mw=14.4,
+        band_low_ghz=1.0,
+        band_high_ghz=10.5,
+        technology="65nm",
+        supply_v=1.2,
+    ),
+    "[3]": BaselineSpec(
+        reference="[3]",
+        description="Chen et al., low power multi-mode SDR mixer (ISCAS 2013)",
+        gain_db=13.0,
+        nf_db=13.7,
+        iip3_dbm=10.8,
+        p1db_dbm=None,
+        power_mw=8.04,
+        band_low_ghz=0.9,
+        band_high_ghz=2.5,
+        technology="65nm",
+        supply_v=1.2,
+        notes="0.9 GHz plus 1.8-2.5 GHz bands; IIP3 quoted as >= 10.8 dBm",
+    ),
+    "[5]": BaselineSpec(
+        reference="[5]",
+        description="Kuan et al., wideband current-commutating passive mixer (JoS 2013)",
+        gain_db=21.0,
+        nf_db=10.6,
+        iip3_dbm=9.0,
+        p1db_dbm=None,
+        power_mw=9.9,
+        band_low_ghz=0.7,
+        band_high_ghz=2.3,
+        technology="180nm",
+        supply_v=1.8,
+    ),
+    "[6]": BaselineSpec(
+        reference="[6]",
+        description="Kim et al., resistively degenerated wideband passive mixer (TMTT 2010)",
+        gain_db=23.75,
+        nf_db=8.6,
+        iip3_dbm=7.0,
+        p1db_dbm=-12.0,
+        power_mw=10.0,
+        band_low_ghz=1.55,
+        band_high_ghz=2.3,
+        technology="180nm",
+        supply_v=2.0,
+        notes="gain 22.5-25 dB, NF 7.7-9.5 dB, IIP3 >= 7 dBm; power includes TIA",
+    ),
+    "[4]": BaselineSpec(
+        reference="[4]",
+        description="Poobuapheun et al., 1.5V quadrature demodulator (CICC 2006)",
+        gain_db=35.0,
+        nf_db=10.0,
+        iip3_dbm=11.0,
+        p1db_dbm=-25.8,
+        power_mw=20.25,
+        band_low_ghz=0.7,
+        band_high_ghz=2.5,
+        technology="130nm",
+        supply_v=1.5,
+        notes="P1dB quoted at 0.1 MHz IF",
+    ),
+    "[10]": BaselineSpec(
+        reference="[10]",
+        description="Wang & Saavedra, reconfigurable broadband variable-gain mixer (IMS 2011)",
+        gain_db=16.5,
+        nf_db=None,
+        iip3_dbm=-4.25,
+        p1db_dbm=-11.5,
+        power_mw=10.2,
+        band_low_ghz=2.0,
+        band_high_ghz=10.0,
+        technology="130nm",
+        supply_v=1.2,
+        notes="gain 9-24 dB, IIP3 3.5 to -12 dBm, P1dB -4 to -19 dBm, power 2.4-18 mW",
+    ),
+    "[11]": BaselineSpec(
+        reference="[11]",
+        description="Xu et al., 12 GHz-bandwidth variable-conversion-gain mixer (MWCL 2011)",
+        gain_db=9.1,
+        nf_db=11.0,
+        iip3_dbm=8.6,
+        p1db_dbm=-3.7,
+        power_mw=5.9,
+        band_low_ghz=1.0,
+        band_high_ghz=12.0,
+        technology="130nm",
+        supply_v=1.2,
+        notes="gain 1.2-17 dB, NF >= 11 dB",
+    ),
+    "[12]": BaselineSpec(
+        reference="[12]",
+        description="Ba et al., reconfigurable passive mixer with digital gain control (RFIT 2014)",
+        gain_db=12.0,
+        nf_db=8.0,
+        iip3_dbm=8.5,
+        p1db_dbm=None,
+        power_mw=7.6,
+        band_low_ghz=0.7,
+        band_high_ghz=2.3,
+        technology="180nm",
+        supply_v=1.8,
+        notes="gain 3.5-20.5 dB, NF >= 8 dB, IIP3 <= 8.5 dBm, power 5.6-9.6 mW",
+    ),
+}
+
+#: Column order used by the paper's Table I.
+TABLE_I_ORDER = ["[2]", "[3]", "[5]", "[6]", "[4]", "[10]", "[11]", "[12]"]
+
+
+def published_references() -> list[str]:
+    """Reference tags in the order Table I prints them."""
+    return list(TABLE_I_ORDER)
+
+
+def published_baseline(reference: str) -> BaselineMixer:
+    """A behavioural :class:`BaselineMixer` for a Table I reference tag."""
+    if reference not in PUBLISHED_BASELINES:
+        raise KeyError(
+            f"unknown baseline {reference!r}; known: {sorted(PUBLISHED_BASELINES)}")
+    return BaselineMixer(PUBLISHED_BASELINES[reference])
+
+
+def all_published_baselines() -> list[BaselineMixer]:
+    """Every Table I baseline, in table order."""
+    return [published_baseline(tag) for tag in TABLE_I_ORDER]

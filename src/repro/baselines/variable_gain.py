@@ -1,0 +1,110 @@
+"""Variable-conversion-gain mixer baselines (refs [10]-[12] family).
+
+These designs reconfigure *gain only* (through current steering or digital
+load control); the paper's point is that multi-standard IoT receivers also
+need the noise/linearity trade to be reconfigurable, which gain-only designs
+cannot provide.  :class:`VariableGainMixer` models that family: it exposes a
+set of gain settings whose NF and IIP3 move the way a current-steered
+topology moves them (NF degrades as gain is stepped down, IIP3 barely
+improves), so the multi-standard example can show quantitatively why
+gain-only reconfiguration fails the linearity-hungry standards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.baselines.base import BaselineMixer, BaselineSpec
+
+
+@dataclass(frozen=True)
+class VariableGainMixer:
+    """A gain-programmable (but mode-fixed) active mixer.
+
+    Attributes
+    ----------
+    max_gain_db / min_gain_db:
+        The published gain-control range.
+    nf_at_max_gain_db:
+        NF at the highest gain setting; stepping the gain down degrades the
+        NF roughly dB-for-dB (the classic current-steering penalty).
+    iip3_at_max_gain_dbm:
+        IIP3 at the highest gain setting; it improves only by a fraction of
+        the gain reduction because the input stage still sees the full swing.
+    iip3_recovery_fraction:
+        dB of IIP3 gained per dB of gain given up (0.3 is typical).
+    power_mw / band / technology / supply:
+        Published envelope numbers.
+    """
+
+    reference: str = "[10]"
+    max_gain_db: float = 24.0
+    min_gain_db: float = 9.0
+    nf_at_max_gain_db: float = 12.0
+    iip3_at_max_gain_dbm: float = -12.0
+    iip3_recovery_fraction: float = 0.3
+    power_mw: float = 10.2
+    band_low_ghz: float = 2.0
+    band_high_ghz: float = 10.0
+    technology: str = "130nm"
+    supply_v: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.min_gain_db >= self.max_gain_db:
+            raise ValueError("min gain must be below max gain")
+        if not 0.0 <= self.iip3_recovery_fraction <= 1.0:
+            raise ValueError("iip3_recovery_fraction must be within [0, 1]")
+
+    def gain_settings(self, steps: int = 4) -> list[float]:
+        """Evenly spaced gain settings across the published range (dB)."""
+        if steps < 2:
+            raise ValueError("need at least two gain settings")
+        span = self.max_gain_db - self.min_gain_db
+        return [self.min_gain_db + span * i / (steps - 1) for i in range(steps)]
+
+    def nf_at(self, gain_db: float) -> float:
+        """NF at a gain setting: degrades dB-for-dB as gain is reduced."""
+        self._check_setting(gain_db)
+        return self.nf_at_max_gain_db + (self.max_gain_db - gain_db)
+
+    def iip3_at(self, gain_db: float) -> float:
+        """IIP3 at a gain setting: recovers only partially as gain is reduced."""
+        self._check_setting(gain_db)
+        return self.iip3_at_max_gain_dbm \
+            + self.iip3_recovery_fraction * (self.max_gain_db - gain_db)
+
+    def _check_setting(self, gain_db: float) -> None:
+        if not self.min_gain_db - 1e-9 <= gain_db <= self.max_gain_db + 1e-9:
+            raise ValueError(
+                f"gain setting {gain_db} dB outside the published range "
+                f"[{self.min_gain_db}, {self.max_gain_db}] dB")
+
+    def spec_at(self, gain_db: float) -> BaselineSpec:
+        """A :class:`BaselineSpec` snapshot at one gain setting."""
+        return BaselineSpec(
+            reference=f"{self.reference}@{gain_db:.0f}dB",
+            description="gain-only reconfigurable mixer at one gain setting",
+            gain_db=gain_db,
+            nf_db=self.nf_at(gain_db),
+            iip3_dbm=self.iip3_at(gain_db),
+            p1db_dbm=self.iip3_at(gain_db) - 9.6,
+            power_mw=self.power_mw,
+            band_low_ghz=self.band_low_ghz,
+            band_high_ghz=self.band_high_ghz,
+            technology=self.technology,
+            supply_v=self.supply_v,
+        )
+
+    def as_baseline(self, gain_db: float | None = None) -> BaselineMixer:
+        """Behavioural baseline at a gain setting (default: maximum gain)."""
+        setting = gain_db if gain_db is not None else self.max_gain_db
+        return BaselineMixer(self.spec_at(setting))
+
+    def best_iip3_dbm(self) -> float:
+        """The best IIP3 the design can reach at its lowest gain setting."""
+        return self.iip3_at(self.min_gain_db)
+
+    def linearity_shortfall_vs(self, required_iip3_dbm: float) -> float:
+        """How far (dB) the design falls short of a required IIP3 at best."""
+        return max(0.0, required_iip3_dbm - self.best_iip3_dbm())

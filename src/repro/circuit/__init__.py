@@ -1,0 +1,61 @@
+"""A small modified-nodal-analysis (MNA) circuit simulation substrate.
+
+The paper evaluates its mixer with a commercial transistor-level simulator
+(Spectre on the UMC 65 nm PDK).  That tool chain is unavailable here, so this
+package provides the minimum credible replacement: a netlist container,
+element stamps, a Newton-Raphson DC operating-point solver, a complex
+small-signal AC sweep and a trapezoidal transient integrator.
+
+It is used by the component-level parts of the reproduction — biasing the
+transconductor, extracting the transmission-gate resistance, sweeping the
+closed-loop TIA input impedance of equation (4), verifying the OTA response —
+while the figure-level mixer experiments use the faster behavioural models
+in :mod:`repro.core`.
+
+Public API
+----------
+* :class:`Circuit` — netlist container (:mod:`repro.circuit.netlist`);
+* element classes in :mod:`repro.circuit.elements`;
+* :func:`dc_operating_point` (:mod:`repro.circuit.dc`);
+* :func:`ac_sweep` / :class:`ACSolution` (:mod:`repro.circuit.ac`);
+* :func:`transient` / :class:`TransientSolution` (:mod:`repro.circuit.transient`);
+* :class:`TwoPort` extraction helpers (:mod:`repro.circuit.twoport`).
+"""
+
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.elements import (
+    ResistorElement,
+    CapacitorElement,
+    InductorElement,
+    VoltageSource,
+    CurrentSource,
+    VCCS,
+    VCVS,
+    MosfetElement,
+)
+from repro.circuit.dc import dc_operating_point, DCSolution, ConvergenceError
+from repro.circuit.ac import ac_sweep, ACSolution
+from repro.circuit.transient import transient, TransientSolution
+from repro.circuit.twoport import TwoPort, impedance_at_port
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "ResistorElement",
+    "CapacitorElement",
+    "InductorElement",
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+    "MosfetElement",
+    "dc_operating_point",
+    "DCSolution",
+    "ConvergenceError",
+    "ac_sweep",
+    "ACSolution",
+    "transient",
+    "TransientSolution",
+    "TwoPort",
+    "impedance_at_port",
+]

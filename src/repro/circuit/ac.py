@@ -1,0 +1,80 @@
+"""Small-signal AC analysis: linearise at the DC point, sweep frequency."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.dc import DCSolution, dc_operating_point
+from repro.circuit.mna import MnaSystem, SolutionView
+from repro.circuit.netlist import Circuit
+
+
+@dataclass
+class ACSolution:
+    """Result of an AC sweep: complex node voltages vs frequency."""
+
+    circuit: Circuit
+    frequencies: np.ndarray
+    solutions: np.ndarray  # shape (num_freqs, system_size), complex
+    dc: DCSolution
+
+    def _view(self, index: int) -> SolutionView:
+        return SolutionView(self.circuit, self.solutions[index])
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor at ``node`` across the sweep."""
+        return np.array([self._view(i).voltage(node)
+                         for i in range(len(self.frequencies))])
+
+    def voltage_between(self, node_pos: str, node_neg: str) -> np.ndarray:
+        """Complex differential voltage across the sweep."""
+        return self.voltage(node_pos) - self.voltage(node_neg)
+
+    def branch_current(self, element_name: str) -> np.ndarray:
+        """Complex branch current of a voltage-source-like element."""
+        return np.array([self._view(i).branch_current(element_name)
+                         for i in range(len(self.frequencies))])
+
+    def transfer_db(self, node_out: str, node_in: str) -> np.ndarray:
+        """Voltage transfer ``|v(out)/v(in)|`` in dB across the sweep."""
+        vin = self.voltage(node_in)
+        vout = self.voltage(node_out)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.abs(vout) / np.abs(vin)
+        return 20.0 * np.log10(ratio)
+
+    def minus_3db_frequency(self, node_out: str, node_in: str) -> float:
+        """First frequency where the transfer drops 3 dB below its low-end value."""
+        gain_db = self.transfer_db(node_out, node_in)
+        reference = gain_db[0]
+        below = np.nonzero(gain_db <= reference - 3.0)[0]
+        if below.size == 0:
+            return float(self.frequencies[-1])
+        return float(self.frequencies[below[0]])
+
+
+def ac_sweep(circuit: Circuit, frequencies: np.ndarray,
+             dc_solution: DCSolution | None = None) -> ACSolution:
+    """Run a small-signal AC sweep over ``frequencies`` (Hz).
+
+    The circuit is linearised around ``dc_solution`` (computed on demand when
+    not supplied).  Source excitations come from each source's ``ac`` value.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    if freqs.ndim != 1 or freqs.size == 0:
+        raise ValueError("frequencies must be a non-empty 1-D array")
+    if np.any(freqs < 0):
+        raise ValueError("frequencies must be non-negative")
+
+    dc = dc_solution if dc_solution is not None else dc_operating_point(circuit)
+    solutions = np.zeros((freqs.size, circuit.system_size()), dtype=complex)
+    for index, frequency in enumerate(freqs):
+        omega = 2.0 * math.pi * frequency
+        system = MnaSystem(circuit, dtype=complex)
+        for element in circuit.elements:
+            element.stamp_ac(system, omega, dc.view)
+        solutions[index] = system.solve()
+    return ACSolution(circuit=circuit, frequencies=freqs, solutions=solutions, dc=dc)

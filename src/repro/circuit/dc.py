@@ -1,0 +1,106 @@
+"""DC operating-point analysis (Newton-Raphson on the MNA system)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.mna import MnaSystem, SolutionView
+from repro.circuit.netlist import Circuit
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+@dataclass
+class DCSolution:
+    """Result of a DC operating-point analysis."""
+
+    circuit: Circuit
+    view: SolutionView
+    iterations: int
+    residual: float
+
+    def voltage(self, node: str) -> float:
+        """DC voltage at ``node``."""
+        return float(self.view.voltage(node))
+
+    def voltage_between(self, node_pos: str, node_neg: str) -> float:
+        """DC differential voltage."""
+        return float(self.view.voltage_between(node_pos, node_neg))
+
+    def branch_current(self, element_name: str) -> float:
+        """DC current through a voltage-source-like element."""
+        return float(self.view.branch_current(element_name))
+
+    def node_voltages(self) -> dict[str, float]:
+        """All node voltages."""
+        return {k: float(v) for k, v in self.view.node_voltages().items()}
+
+    def supply_power(self, source_names: list[str] | None = None) -> float:
+        """Total power delivered by the listed voltage sources (W).
+
+        With no argument, every :class:`VoltageSource` in the circuit is
+        counted.  The sign convention makes power *delivered by* the source
+        positive (a source forcing current out of its positive terminal).
+        """
+        from repro.circuit.elements import VoltageSource
+
+        names = source_names
+        if names is None:
+            names = [e.name for e in self.circuit.elements
+                     if isinstance(e, VoltageSource)]
+        total = 0.0
+        for name in names:
+            element = self.circuit.element(name)
+            voltage = element.dc  # type: ignore[attr-defined]
+            current = self.branch_current(name)
+            # MNA branch current flows from the + node through the source to
+            # the - node; a negative value therefore means the source is
+            # delivering current into the circuit from its + terminal.
+            total += voltage * (-current)
+        return total
+
+
+def dc_operating_point(circuit: Circuit, max_iterations: int = 200,
+                       tolerance: float = 1e-9, damping: float = 0.6,
+                       initial: np.ndarray | None = None) -> DCSolution:
+    """Solve the DC operating point of ``circuit`` by damped Newton iteration.
+
+    Linear circuits converge in one iteration; circuits with MOSFETs are
+    iterated with a damped update until the solution vector stops moving.
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration has not settled after ``max_iterations``.
+    """
+    circuit.validate()
+    size = circuit.system_size()
+    x = np.zeros(size) if initial is None else np.array(initial, dtype=float)
+    if x.shape != (size,):
+        raise ValueError("initial vector has the wrong size")
+
+    last_delta = np.inf
+    for iteration in range(1, max_iterations + 1):
+        system = MnaSystem(circuit, dtype=float)
+        guess_view = SolutionView(circuit, x)
+        for element in circuit.elements:
+            element.stamp_dc(system, guess_view)
+        x_new = system.solve()
+        delta = x_new - x
+        max_delta = float(np.max(np.abs(delta))) if delta.size else 0.0
+        # Damped update: full steps for nearly-converged systems, damped
+        # steps while far away (keeps MOSFET stacks from oscillating).
+        step = 1.0 if max_delta < 0.1 else damping
+        x = x + step * delta
+        last_delta = max_delta
+        if max_delta < tolerance:
+            return DCSolution(circuit=circuit, view=SolutionView(circuit, x),
+                              iterations=iteration, residual=max_delta)
+    raise ConvergenceError(
+        f"DC analysis of {circuit.name!r} did not converge after "
+        f"{max_iterations} iterations (last delta {last_delta:.3g} V)"
+    )

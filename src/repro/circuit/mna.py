@@ -1,0 +1,157 @@
+"""Modified-nodal-analysis system assembly.
+
+:class:`MnaSystem` is the matrix/right-hand-side pair that element stamps
+write into.  It hides the ground-node bookkeeping: stamping against the
+ground node is silently dropped, which keeps the element code free of index
+special cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.netlist import Circuit, GROUND
+
+
+class MnaSystem:
+    """An MNA matrix equation ``A x = z`` under assembly.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist being analysed (used for node/branch index maps).
+    dtype:
+        ``float`` for DC/transient, ``complex`` for AC.
+    gmin:
+        A small conductance added from every node to ground to keep the
+        matrix non-singular when nodes are left floating by off devices
+        (standard SPICE practice).
+    """
+
+    def __init__(self, circuit: Circuit, dtype=float, gmin: float = 1e-12) -> None:
+        self.circuit = circuit
+        self.node_map = circuit.node_index_map()
+        self.branch_map = circuit.branch_index_map()
+        self.num_nodes = len(self.node_map)
+        self.num_branches = len(self.branch_map)
+        self.size = self.num_nodes + self.num_branches
+        self.dtype = dtype
+        self.gmin = gmin
+        self.matrix = np.zeros((self.size, self.size), dtype=dtype)
+        self.rhs = np.zeros(self.size, dtype=dtype)
+        if gmin > 0:
+            for index in range(self.num_nodes):
+                self.matrix[index, index] += gmin
+
+    # -- index helpers ------------------------------------------------------
+
+    def node_index(self, node: str) -> int:
+        """MNA row of a node, or -1 for ground."""
+        if node == GROUND:
+            return -1
+        return self.node_map[node]
+
+    def branch_index(self, element_name: str) -> int:
+        """MNA row of an element's branch-current unknown."""
+        return self.num_nodes + self.branch_map[element_name]
+
+    # -- stamping primitives -------------------------------------------------
+
+    def add_conductance(self, node_a: str, node_b: str, conductance) -> None:
+        """Stamp a two-terminal conductance/admittance between two nodes."""
+        a = self.node_index(node_a)
+        b = self.node_index(node_b)
+        if a >= 0:
+            self.matrix[a, a] += conductance
+        if b >= 0:
+            self.matrix[b, b] += conductance
+        if a >= 0 and b >= 0:
+            self.matrix[a, b] -= conductance
+            self.matrix[b, a] -= conductance
+
+    def add_current(self, node: str, current) -> None:
+        """Stamp an independent current flowing *into* ``node``."""
+        index = self.node_index(node)
+        if index >= 0:
+            self.rhs[index] += current
+
+    def add_vccs(self, out_pos: str, out_neg: str,
+                 in_pos: str, in_neg: str, transconductance) -> None:
+        """Stamp a voltage-controlled current source.
+
+        A current ``gm * (v_in_pos - v_in_neg)`` flows from ``out_pos`` to
+        ``out_neg`` (i.e. out of ``out_pos``'s node equation).
+        """
+        op = self.node_index(out_pos)
+        on = self.node_index(out_neg)
+        ip = self.node_index(in_pos)
+        in_ = self.node_index(in_neg)
+        for out_idx, out_sign in ((op, +1.0), (on, -1.0)):
+            if out_idx < 0:
+                continue
+            if ip >= 0:
+                self.matrix[out_idx, ip] += out_sign * transconductance
+            if in_ >= 0:
+                self.matrix[out_idx, in_] -= out_sign * transconductance
+
+    def stamp_voltage_branch(self, element_name: str, node_pos: str,
+                             node_neg: str, voltage, gain_terms=None) -> None:
+        """Stamp a branch equation forcing ``v(pos) - v(neg) = voltage``.
+
+        ``gain_terms`` optionally adds controlled terms to the branch
+        equation (used by VCVS): an iterable of ``(node, coefficient)`` pairs
+        subtracted from the constraint.
+        """
+        branch = self.branch_index(element_name)
+        pos = self.node_index(node_pos)
+        neg = self.node_index(node_neg)
+        if pos >= 0:
+            self.matrix[pos, branch] += 1.0
+            self.matrix[branch, pos] += 1.0
+        if neg >= 0:
+            self.matrix[neg, branch] -= 1.0
+            self.matrix[branch, neg] -= 1.0
+        if gain_terms:
+            for node, coefficient in gain_terms:
+                index = self.node_index(node)
+                if index >= 0:
+                    self.matrix[branch, index] -= coefficient
+        self.rhs[branch] += voltage
+
+    # -- solving --------------------------------------------------------------
+
+    def solve(self) -> np.ndarray:
+        """Solve the assembled system, falling back to least squares if singular."""
+        try:
+            return np.linalg.solve(self.matrix, self.rhs)
+        except np.linalg.LinAlgError:
+            solution, *_ = np.linalg.lstsq(self.matrix, self.rhs, rcond=None)
+            return solution
+
+
+class SolutionView:
+    """Read node voltages / branch currents out of a raw solution vector."""
+
+    def __init__(self, circuit: Circuit, vector: np.ndarray) -> None:
+        self._node_map = circuit.node_index_map()
+        self._branch_map = circuit.branch_index_map()
+        self._num_nodes = len(self._node_map)
+        self.vector = vector
+
+    def voltage(self, node: str):
+        """Voltage at ``node`` (0 for ground)."""
+        if node == GROUND:
+            return type(self.vector[0])(0.0) if len(self.vector) else 0.0
+        return self.vector[self._node_map[node]]
+
+    def voltage_between(self, node_pos: str, node_neg: str):
+        """Differential voltage ``v(pos) - v(neg)``."""
+        return self.voltage(node_pos) - self.voltage(node_neg)
+
+    def branch_current(self, element_name: str):
+        """Branch current of a voltage-source-like element."""
+        return self.vector[self._num_nodes + self._branch_map[element_name]]
+
+    def node_voltages(self) -> dict[str, float]:
+        """All node voltages as a dict."""
+        return {node: self.vector[idx] for node, idx in self._node_map.items()}

@@ -1,0 +1,116 @@
+"""Netlist container: named nodes, registered elements, index assignment.
+
+Nodes are plain strings; the ground node is the constant :data:`GROUND`
+(``"0"``).  Elements are added through :meth:`Circuit.add` and keep their own
+node names — the circuit assigns integer MNA indices lazily when an analysis
+asks for them, so elements can be added in any order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.circuit.elements import Element
+
+#: Name of the reference (ground) node.
+GROUND = "0"
+
+
+class Circuit:
+    """A container of nodes and circuit elements.
+
+    Example
+    -------
+    >>> from repro.circuit import Circuit, ResistorElement, VoltageSource
+    >>> ckt = Circuit("divider")
+    >>> ckt.add(VoltageSource("V1", "in", "0", dc=1.0))
+    >>> ckt.add(ResistorElement("R1", "in", "out", 1e3))
+    >>> ckt.add(ResistorElement("R2", "out", "0", 1e3))
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._elements: list["Element"] = []
+        self._element_names: set[str] = set()
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, element: "Element") -> "Element":
+        """Add an element; names must be unique within the circuit."""
+        if element.name in self._element_names:
+            raise ValueError(f"duplicate element name: {element.name!r}")
+        self._element_names.add(element.name)
+        self._elements.append(element)
+        return element
+
+    def extend(self, elements: Iterable["Element"]) -> None:
+        """Add several elements."""
+        for element in elements:
+            self.add(element)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def elements(self) -> tuple["Element", ...]:
+        """All elements in insertion order."""
+        return tuple(self._elements)
+
+    def element(self, name: str) -> "Element":
+        """Look up an element by name."""
+        for candidate in self._elements:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no element named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._element_names
+
+    def __iter__(self) -> Iterator["Element"]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def nodes(self) -> tuple[str, ...]:
+        """All non-ground node names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for element in self._elements:
+            for node in element.nodes:
+                if node != GROUND and node not in seen:
+                    seen[node] = None
+        return tuple(seen)
+
+    def node_index_map(self) -> dict[str, int]:
+        """Map node name -> MNA row index (ground excluded, 0-based)."""
+        return {node: index for index, node in enumerate(self.nodes())}
+
+    def branch_elements(self) -> tuple["Element", ...]:
+        """Elements that need an extra MNA branch-current unknown."""
+        return tuple(e for e in self._elements if e.needs_branch_current)
+
+    def branch_index_map(self) -> dict[str, int]:
+        """Map element name -> branch index (0-based, appended after nodes)."""
+        return {e.name: i for i, e in enumerate(self.branch_elements())}
+
+    def system_size(self) -> int:
+        """Total number of MNA unknowns (node voltages + branch currents)."""
+        return len(self.nodes()) + len(self.branch_elements())
+
+    def validate(self) -> None:
+        """Sanity checks: at least one element, ground referenced somewhere."""
+        if not self._elements:
+            raise ValueError(f"circuit {self.name!r} has no elements")
+        referenced_ground = any(
+            GROUND in element.nodes for element in self._elements
+        )
+        if not referenced_ground:
+            raise ValueError(
+                f"circuit {self.name!r} never references the ground node {GROUND!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Circuit({self.name!r}, {len(self._elements)} elements, "
+            f"{len(self.nodes())} nodes)"
+        )

@@ -1,0 +1,103 @@
+"""Transient analysis: fixed-step integration with companion models.
+
+Capacitors and inductors use trapezoidal companion models whose history is
+kept in a per-run ``state`` dictionary; nonlinear devices are re-linearised
+with a short Newton loop inside every time step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.dc import DCSolution, dc_operating_point
+from repro.circuit.mna import MnaSystem, SolutionView
+from repro.circuit.netlist import Circuit
+
+
+@dataclass
+class TransientSolution:
+    """Result of a transient run: node voltages vs time."""
+
+    circuit: Circuit
+    times: np.ndarray
+    solutions: np.ndarray  # shape (num_steps, system_size)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Voltage waveform at ``node``."""
+        view = SolutionView(self.circuit, self.solutions[0])
+        if node == "0":
+            return np.zeros(len(self.times))
+        index = view._node_map[node]  # noqa: SLF001 - internal, stable
+        return self.solutions[:, index]
+
+    def voltage_between(self, node_pos: str, node_neg: str) -> np.ndarray:
+        """Differential voltage waveform."""
+        return self.voltage(node_pos) - self.voltage(node_neg)
+
+    @property
+    def timestep(self) -> float:
+        """The (fixed) integration step."""
+        if len(self.times) < 2:
+            return 0.0
+        return float(self.times[1] - self.times[0])
+
+
+def transient(circuit: Circuit, stop_time: float, timestep: float,
+              dc_solution: DCSolution | None = None,
+              newton_iterations: int = 12,
+              newton_tolerance: float = 1e-7) -> TransientSolution:
+    """Integrate ``circuit`` from 0 to ``stop_time`` with a fixed ``timestep``.
+
+    The initial condition is the DC operating point (computed when not
+    supplied), which avoids start-up transients in periodic steady-state
+    measurements.
+    """
+    if stop_time <= 0 or timestep <= 0:
+        raise ValueError("stop_time and timestep must be positive")
+    if timestep >= stop_time:
+        raise ValueError("timestep must be smaller than stop_time")
+
+    circuit.validate()
+    dc = dc_solution if dc_solution is not None else dc_operating_point(circuit)
+
+    times = np.arange(0.0, stop_time + 0.5 * timestep, timestep)
+    size = circuit.system_size()
+    solutions = np.zeros((times.size, size))
+    solutions[0] = np.real(dc.view.vector)
+
+    state: dict = {}
+    # Seed companion-model state from the DC point.
+    initial_view = SolutionView(circuit, solutions[0])
+    for element in circuit.elements:
+        element.update_state(initial_view, timestep, state)
+        # Capacitor companion currents must start at zero, not at the value
+        # implied by a fictitious step into the DC point.
+        state[(element.name, "current")] = 0.0 \
+            if (element.name, "current") in state else state.get(
+                (element.name, "current"), 0.0)
+
+    x = solutions[0].copy()
+    for step_index in range(1, times.size):
+        time = float(times[step_index])
+        previous_view = SolutionView(circuit, solutions[step_index - 1])
+        # Newton loop within the step (linear circuits converge immediately).
+        for _ in range(newton_iterations):
+            system = MnaSystem(circuit, dtype=float)
+            guess_view = SolutionView(circuit, x)
+            for element in circuit.elements:
+                element.stamp_transient(system, previous_view, guess_view,
+                                        timestep, time, state)
+            x_new = system.solve()
+            delta = float(np.max(np.abs(x_new - x))) if x.size else 0.0
+            x = x_new
+            if delta < newton_tolerance:
+                break
+        solutions[step_index] = x
+        # Advance companion-model history.
+        step_view = SolutionView(circuit, x)
+        for element in circuit.elements:
+            element.update_state(step_view, timestep, state)
+
+    return TransientSolution(circuit=circuit, times=times, solutions=solutions)

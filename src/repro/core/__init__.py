@@ -1,0 +1,65 @@
+"""The paper's contribution: the 1.2 V wide-band reconfigurable mixer.
+
+The sub-modules mirror the building blocks of the paper's Fig. 2-7:
+
+* :mod:`repro.core.config` — design parameters, operating modes and the
+  paper's reported targets;
+* :mod:`repro.core.switches` — PMOS / NMOS / transmission-gate switches
+  (Fig. 5) with on-resistances derived from the 65 nm device models;
+* :mod:`repro.core.transconductance` — the fully differential
+  transconductance amplifier (Fig. 3) with bias-derived gm, nonlinearity
+  and noise;
+* :mod:`repro.core.switching_quad` — the LO-commutated switching quad
+  (Fig. 4) in both current-commutating (passive) and Gilbert (active) use;
+* :mod:`repro.core.tia` — the two-stage Miller OTA and the transimpedance
+  stage with its R_F C_F feedback (Fig. 7, equation 4);
+* :mod:`repro.core.load` — the transmission-gate resistive load with C_c
+  (Fig. 5b) used in active mode;
+* :mod:`repro.core.reconfigurable_mixer` — the mode-switchable mixer that
+  ties the blocks together and exposes the measured quantities (conversion
+  gain, NF, IIP3, P1dB, power);
+* :mod:`repro.core.frontend` — the wide-band receiver front end of Fig. 2
+  (balun, LNA, mixer, LO chain);
+* :mod:`repro.core.power` — the per-mode power budget.
+"""
+
+from repro.core.config import (
+    MixerMode,
+    MixerDesign,
+    PaperTargets,
+    PAPER_TARGETS_ACTIVE,
+    PAPER_TARGETS_PASSIVE,
+    default_design,
+)
+from repro.core.switches import PmosSwitch, NmosSwitch, TransmissionGate, SwitchState
+from repro.core.transconductance import TransconductanceAmplifier
+from repro.core.switching_quad import SwitchingQuad
+from repro.core.tia import TwoStageOTA, TransimpedanceAmplifier
+from repro.core.load import TransmissionGateLoad
+from repro.core.reconfigurable_mixer import ReconfigurableMixer, MixerSpecs
+from repro.core.frontend import WidebandReceiverFrontEnd, LowNoiseAmplifier, Balun
+from repro.core.power import PowerBudget
+
+__all__ = [
+    "MixerMode",
+    "MixerDesign",
+    "PaperTargets",
+    "PAPER_TARGETS_ACTIVE",
+    "PAPER_TARGETS_PASSIVE",
+    "default_design",
+    "PmosSwitch",
+    "NmosSwitch",
+    "TransmissionGate",
+    "SwitchState",
+    "TransconductanceAmplifier",
+    "SwitchingQuad",
+    "TwoStageOTA",
+    "TransimpedanceAmplifier",
+    "TransmissionGateLoad",
+    "ReconfigurableMixer",
+    "MixerSpecs",
+    "WidebandReceiverFrontEnd",
+    "LowNoiseAmplifier",
+    "Balun",
+    "PowerBudget",
+]

@@ -1,0 +1,195 @@
+"""The wide-band receiver front end of Fig. 2.
+
+The mixer does not live alone: the paper's block diagram places it behind an
+RF balun (50 ohm termination) and a wide-band LNA, and in front of the
+first-order RC low-pass that delivers the IF to the baseband.  This module
+provides behavioural models of those surrounding blocks and a
+:class:`WidebandReceiverFrontEnd` that cascades them, so system-level
+questions (total NF via Friis, total IIP3, which mode suits which standard)
+can be answered with the same library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.core.reconfigurable_mixer import ReconfigurableMixer
+from repro.rf.blocks import BehavioralBlock, CascadeResult, cascade
+from repro.rf.network import balun_output_amplitudes
+from repro.units import REFERENCE_IMPEDANCE, ghz
+
+
+@dataclass(frozen=True)
+class Balun:
+    """The input balun: single-ended 50 ohm RF in, differential out.
+
+    A passive balun is lossy and slightly imbalanced; both effects are
+    carried as behavioural parameters.
+    """
+
+    insertion_loss_db: float = 0.8
+    imbalance_db: float = 0.3
+    input_impedance: float = REFERENCE_IMPEDANCE
+
+    def __post_init__(self) -> None:
+        if self.insertion_loss_db < 0:
+            raise ValueError("insertion loss cannot be negative")
+
+    def as_block(self) -> BehavioralBlock:
+        """Behavioural-block view (loss shows up as negative gain and as NF)."""
+        return BehavioralBlock(
+            name="balun",
+            gain_db=-self.insertion_loss_db,
+            nf_db=self.insertion_loss_db,
+            iip3_dbm=math.inf,
+            input_impedance=self.input_impedance,
+        )
+
+    def split(self, waveform: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a single-ended waveform into the differential pair."""
+        scale_p, scale_n = balun_output_amplitudes(
+            1.0, self.insertion_loss_db, self.imbalance_db)
+        v = np.asarray(waveform, dtype=float)
+        return scale_p * v, -scale_n * v
+
+
+@dataclass(frozen=True)
+class LowNoiseAmplifier:
+    """A wide-band LNA placed before the mixer (Fig. 2).
+
+    The defaults describe a typical 65 nm wide-band resistive-feedback LNA:
+    moderate gain, sub-3 dB NF, around -5 dBm IIP3.
+    """
+
+    gain_db: float = 15.0
+    nf_db: float = 2.8
+    iip3_dbm: float = -5.0
+    band_low_hz: float = ghz(0.5)
+    band_high_hz: float = ghz(6.0)
+    supply_current: float = 6.0e-3
+
+    def __post_init__(self) -> None:
+        if self.band_low_hz >= self.band_high_hz:
+            raise ValueError("LNA band edges out of order")
+
+    def as_block(self) -> BehavioralBlock:
+        """Behavioural-block view for cascade calculations."""
+        return BehavioralBlock(
+            name="lna",
+            gain_db=self.gain_db,
+            nf_db=self.nf_db,
+            iip3_dbm=self.iip3_dbm,
+        )
+
+    def gain_at(self, rf_frequency: float) -> float:
+        """Gain (dB) including a simple band-pass roll-off outside the band."""
+        if rf_frequency <= 0:
+            raise ValueError("frequency must be positive")
+        low_ratio = rf_frequency / self.band_low_hz
+        high_ratio = rf_frequency / self.band_high_hz
+        highpass = low_ratio / math.sqrt(1.0 + low_ratio ** 2)
+        lowpass = 1.0 / math.sqrt(1.0 + high_ratio ** 4)
+        return self.gain_db + 20.0 * math.log10(highpass * lowpass)
+
+
+@dataclass(frozen=True)
+class LocalOscillator:
+    """The LO chain driving the switching quad."""
+
+    frequency: float = ghz(2.4)
+    amplitude: float = 0.6
+    phase_noise_dbc_hz: float = -110.0
+    supply_current: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0 or self.amplitude <= 0:
+            raise ValueError("LO frequency and amplitude must be positive")
+
+    def reciprocal_mixing_floor_dbm(self, blocker_dbm: float,
+                                    offset_hz: float,
+                                    channel_bandwidth_hz: float) -> float:
+        """Noise floor created by a blocker through LO phase noise (dBm).
+
+        ``blocker + L(offset) + 10 log10(BW)`` — a standard system-level
+        budget the multi-standard receiver example uses.
+        """
+        if offset_hz <= 0 or channel_bandwidth_hz <= 0:
+            raise ValueError("offset and bandwidth must be positive")
+        return blocker_dbm + self.phase_noise_dbc_hz \
+            + 10.0 * math.log10(channel_bandwidth_hz)
+
+
+class WidebandReceiverFrontEnd:
+    """Balun + LNA + reconfigurable mixer + LO chain (Fig. 2)."""
+
+    def __init__(self, design: MixerDesign | None = None,
+                 mode: MixerMode = MixerMode.ACTIVE,
+                 balun: Balun | None = None,
+                 lna: LowNoiseAmplifier | None = None,
+                 lo: LocalOscillator | None = None,
+                 include_lna: bool = True) -> None:
+        self.design = design if design is not None else MixerDesign()
+        self.mixer = ReconfigurableMixer(self.design, mode)
+        self.balun = balun if balun is not None else Balun()
+        self.lna = lna if lna is not None else LowNoiseAmplifier()
+        self.lo = lo if lo is not None else LocalOscillator(
+            frequency=self.design.lo_frequency)
+        self.include_lna = include_lna
+
+    @property
+    def mode(self) -> MixerMode:
+        """Current mixer configuration."""
+        return self.mixer.mode
+
+    def set_mode(self, mode: MixerMode) -> None:
+        """Reconfigure the mixer inside the front end."""
+        self.mixer.set_mode(mode)
+
+    def mixer_block(self, rf_frequency: float | None = None) -> BehavioralBlock:
+        """The mixer reduced to a behavioural block at an RF frequency."""
+        specs = self.mixer.specs()
+        gain = self.mixer.conversion_gain_db(rf_frequency) \
+            if rf_frequency is not None else specs.conversion_gain_db
+        return BehavioralBlock(
+            name=f"mixer-{self.mode.value}",
+            gain_db=gain,
+            nf_db=specs.noise_figure_db,
+            iip3_dbm=specs.iip3_dbm,
+            iip2_dbm=specs.iip2_dbm,
+            output_swing_limit=self.design.output_swing_limit,
+        )
+
+    def blocks(self, rf_frequency: float | None = None) -> list[BehavioralBlock]:
+        """The behavioural cascade from the antenna to the IF output."""
+        chain = [self.balun.as_block()]
+        if self.include_lna:
+            chain.append(self.lna.as_block())
+        chain.append(self.mixer_block(rf_frequency))
+        return chain
+
+    def cascade(self, rf_frequency: float | None = None) -> CascadeResult:
+        """Total gain / NF / IIP3 of the front end (Friis and IIP3 cascade)."""
+        return cascade(self.blocks(rf_frequency))
+
+    def sensitivity_dbm(self, channel_bandwidth_hz: float,
+                        required_snr_db: float,
+                        rf_frequency: float | None = None) -> float:
+        """Receiver sensitivity: ``-174 dBm/Hz + 10log10(BW) + NF + SNR_req``."""
+        if channel_bandwidth_hz <= 0:
+            raise ValueError("channel bandwidth must be positive")
+        total = self.cascade(rf_frequency)
+        return -174.0 + 10.0 * math.log10(channel_bandwidth_hz) \
+            + total.nf_db + required_snr_db
+
+    def total_power_mw(self) -> float:
+        """Supply power of the whole front end (mW)."""
+        power = self.mixer.power_mw()
+        power += self.lo.supply_current * self.design.vdd * 1e3 * 0.0  # LO already
+        # counted inside the mixer budget; the LNA adds its own branch.
+        if self.include_lna:
+            power += self.lna.supply_current * self.design.vdd * 1e3
+        return power

@@ -1,0 +1,96 @@
+"""Per-mode power budget of the reconfigurable mixer.
+
+The paper quotes 9.36 mW in active mode and 9.24 mW in passive mode from the
+1.2 V supply, with the TIA alone drawing 3.3 mA (switched off in active
+mode).  :class:`PowerBudget` reconstructs those totals from the bias plan in
+the design record so the benchmark can print a branch-by-branch breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MixerDesign, MixerMode
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Branch currents (A) and the resulting power for one mode."""
+
+    mode: MixerMode
+    transconductor_a: float
+    gilbert_core_a: float
+    lo_chain_a: float
+    tia_a: float
+    supply_v: float
+
+    @property
+    def total_current_a(self) -> float:
+        """Total supply current (A)."""
+        return (self.transconductor_a + self.gilbert_core_a
+                + self.lo_chain_a + self.tia_a)
+
+    @property
+    def total_power_w(self) -> float:
+        """Total power (W)."""
+        return self.total_current_a * self.supply_v
+
+    @property
+    def total_power_mw(self) -> float:
+        """Total power (mW)."""
+        return self.total_power_w * 1e3
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """(branch, mW) rows for reporting."""
+        v = self.supply_v
+        return [
+            ("transconductance amplifier", self.transconductor_a * v * 1e3),
+            ("gilbert core (active only)", self.gilbert_core_a * v * 1e3),
+            ("LO chain / bias", self.lo_chain_a * v * 1e3),
+            ("TIA (passive only)", self.tia_a * v * 1e3),
+        ]
+
+
+class PowerBudget:
+    """Computes the power drawn in each configuration."""
+
+    def __init__(self, design: MixerDesign | None = None) -> None:
+        self.design = design if design is not None else MixerDesign()
+
+    def breakdown(self, mode: MixerMode) -> PowerBreakdown:
+        """Branch-by-branch budget for ``mode``.
+
+        Active mode: TCA + Gilbert core + LO chain (TIA powered down via
+        switch p3).  Passive mode: TCA + LO chain + TIA (no DC current in the
+        quad).
+        """
+        design = self.design
+        if mode is MixerMode.ACTIVE:
+            return PowerBreakdown(
+                mode=mode,
+                transconductor_a=design.tca_bias_current,
+                gilbert_core_a=design.active_core_current,
+                lo_chain_a=design.lo_chain_current,
+                tia_a=0.0,
+                supply_v=design.vdd,
+            )
+        return PowerBreakdown(
+            mode=mode,
+            transconductor_a=design.tca_bias_current,
+            gilbert_core_a=0.0,
+            lo_chain_a=design.lo_chain_current,
+            tia_a=design.tia_supply_current,
+            supply_v=design.vdd,
+        )
+
+    def total_mw(self, mode: MixerMode) -> float:
+        """Total power (mW) for ``mode``."""
+        return self.breakdown(mode).total_power_mw
+
+    def tia_power_mw(self) -> float:
+        """Power of the TIA branch alone (the paper's 3.3 mA at 1.2 V)."""
+        return self.design.tia_supply_current * self.design.vdd * 1e3
+
+    def saving_when_active_mw(self) -> float:
+        """Power saved in active mode by switching the TIA off."""
+        return self.tia_power_mw()

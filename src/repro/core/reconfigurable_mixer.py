@@ -1,0 +1,489 @@
+"""The reconfigurable active/passive down-conversion mixer (Fig. 4-6).
+
+:class:`ReconfigurableMixer` ties the building blocks together and switches
+between the two configurations the paper describes:
+
+* **active mode** — the common-source Gm devices drive a double-balanced
+  Gilbert cell loaded by the transmission gate (Fig. 6b); the TIA is powered
+  down; high gain and low noise figure, modest linearity;
+* **passive mode** — the PMOS switches Sw1-2 route the TCA current straight
+  into the quad (path 1 of Fig. 4) and double as degeneration resistance;
+  the quad carries no DC current and the TIA converts the commutated current
+  to the IF voltage (Fig. 6a); lower gain and higher NF, much better IIP3.
+
+The class exposes both:
+
+* **analytic spec accessors** (`conversion_gain_db`, `noise_figure_db`,
+  `iip3_dbm`, `p1db_dbm`, `power_mw`, `band_edges`) derived from the device
+  models and the design record — these regenerate the *curves* of Fig. 8 and
+  Fig. 9 quickly; and
+* a **waveform-level device** (:meth:`waveform_device`) that applies the same
+  nonlinearities, LO commutation, IF filtering and swing limiting to sampled
+  waveforms — this is what the two-tone (Fig. 10) and compression benches
+  actually measure, so the headline numbers come out of spectra, not out of
+  closed-form shortcuts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import (
+    MixerDesign,
+    MixerMode,
+    PaperTargets,
+    paper_targets,
+)
+from repro.core.load import TransmissionGateLoad
+from repro.core.switches import PmosSwitch
+from repro.core.switching_quad import LoDrive, SwitchingQuad
+from repro.core.tia import TransimpedanceAmplifier
+from repro.core.transconductance import TransconductanceAmplifier
+from repro.rf.conversion_gain import SWITCHING_FACTOR
+from repro.rf.filters import FirstOrderLowPass
+from repro.rf.noise_figure import nf_with_flicker, noise_figure_from_factor
+from repro.units import (
+    BOLTZMANN,
+    REFERENCE_IMPEDANCE,
+    db_from_voltage_ratio,
+    dbm_from_vpeak,
+    vpeak_from_dbm,
+)
+
+
+@dataclass(frozen=True)
+class MixerSpecs:
+    """Headline specifications of one mixer configuration."""
+
+    mode: MixerMode
+    conversion_gain_db: float
+    noise_figure_db: float
+    iip3_dbm: float
+    iip2_dbm: float
+    p1db_dbm: float
+    power_mw: float
+    band_low_hz: float
+    band_high_hz: float
+    flicker_corner_hz: float
+
+    @property
+    def bandwidth_ghz(self) -> tuple[float, float]:
+        """RF band edges in GHz."""
+        return self.band_low_hz / 1e9, self.band_high_hz / 1e9
+
+    def as_table_row(self) -> dict[str, float | str]:
+        """Row for the Table I comparison harness."""
+        return {
+            "design": f"This work ({self.mode.value})",
+            "gain_db": round(self.conversion_gain_db, 1),
+            "nf_db": round(self.noise_figure_db, 1),
+            "iip3_dbm": round(self.iip3_dbm, 1),
+            "p1db_dbm": round(self.p1db_dbm, 1),
+            "power_mw": round(self.power_mw, 2),
+            "band_low_ghz": round(self.band_low_hz / 1e9, 2),
+            "band_high_ghz": round(self.band_high_hz / 1e9, 2),
+            "technology": "65nm (behavioural)",
+            "supply_v": 1.2,
+        }
+
+
+class ReconfigurableMixer:
+    """The paper's mode-switchable down-conversion mixer."""
+
+    def __init__(self, design: MixerDesign | None = None,
+                 mode: MixerMode = MixerMode.ACTIVE) -> None:
+        self.design = design if design is not None else MixerDesign()
+        self._mode = mode
+
+    # -- mode control ---------------------------------------------------------
+
+    @property
+    def mode(self) -> MixerMode:
+        """Current configuration."""
+        return self._mode
+
+    def set_mode(self, mode: MixerMode) -> None:
+        """Reconfigure the mixer (flips Vlogic on Mp1/Mp2, the TIA switch p3...)."""
+        if not isinstance(mode, MixerMode):
+            raise TypeError("mode must be a MixerMode")
+        self._mode = mode
+
+    def reconfigure(self) -> MixerMode:
+        """Toggle between active and passive mode; returns the new mode."""
+        self.set_mode(MixerMode.PASSIVE if self._mode is MixerMode.ACTIVE
+                      else MixerMode.ACTIVE)
+        return self._mode
+
+    @property
+    def vlogic(self) -> int:
+        """Logic level currently applied to the PMOS mode switches."""
+        return self._mode.vlogic
+
+    # -- building blocks --------------------------------------------------------
+
+    @cached_property
+    def degeneration_switch(self) -> PmosSwitch:
+        """Sw1-2: the PMOS switch sized to provide the degeneration resistance."""
+        return PmosSwitch.sized_for_degeneration(
+            self.design.degeneration_resistance,
+            technology=self.design.technology)
+
+    @cached_property
+    def _tca_active(self) -> TransconductanceAmplifier:
+        return TransconductanceAmplifier(self.design, degeneration_resistance=0.0)
+
+    @cached_property
+    def _tca_passive(self) -> TransconductanceAmplifier:
+        return TransconductanceAmplifier(
+            self.design,
+            degeneration_resistance=self.design.degeneration_resistance)
+
+    @property
+    def transconductor(self) -> TransconductanceAmplifier:
+        """The Gm stage as configured for the current mode."""
+        return self._tca_active if self._mode is MixerMode.ACTIVE \
+            else self._tca_passive
+
+    @cached_property
+    def switching_quad(self) -> SwitchingQuad:
+        """The LO-commutated switching core."""
+        return SwitchingQuad(self.design, LoDrive(self.design.lo_frequency))
+
+    @cached_property
+    def tia(self) -> TransimpedanceAmplifier:
+        """The transimpedance stage (powered only in passive mode)."""
+        return TransimpedanceAmplifier(self.design)
+
+    @cached_property
+    def load(self) -> TransmissionGateLoad:
+        """The transmission-gate load (used only in active mode)."""
+        return TransmissionGateLoad(self.design)
+
+    # -- per-mode derived quantities ----------------------------------------------
+
+    def _effective_gm(self, mode: MixerMode | None = None) -> float:
+        mode = mode or self._mode
+        tca = self._tca_active if mode is MixerMode.ACTIVE else self._tca_passive
+        return tca.effective_gm
+
+    def _load_resistance(self, mode: MixerMode | None = None) -> float:
+        mode = mode or self._mode
+        if mode is MixerMode.ACTIVE:
+            return self.design.load_resistance
+        return self.design.feedback_resistance
+
+    def _if_filter(self, mode: MixerMode | None = None) -> FirstOrderLowPass:
+        mode = mode or self._mode
+        if mode is MixerMode.ACTIVE:
+            return self.load.if_response()
+        return self.tia.if_response()
+
+    def _coupling_capacitance(self, mode: MixerMode | None = None) -> float:
+        mode = mode or self._mode
+        if mode is MixerMode.ACTIVE:
+            return self.design.coupling_capacitance_active
+        return self.design.coupling_capacitance_passive
+
+    def _band_node_resistance(self, mode: MixerMode | None = None) -> float:
+        mode = mode or self._mode
+        if mode is MixerMode.ACTIVE:
+            return self.design.band_node_resistance_active
+        return self.design.band_node_resistance_passive
+
+    # -- conversion gain -------------------------------------------------------------
+
+    def peak_conversion_gain_db(self) -> float:
+        """In-band, low-IF conversion gain (dB): ``(2/pi) * gm_eff * R_load``."""
+        gain = SWITCHING_FACTOR * self._effective_gm() * self._load_resistance()
+        return float(db_from_voltage_ratio(gain))
+
+    def conversion_gain_db(self, rf_frequency: float | None = None,
+                           if_frequency: float | None = None) -> float:
+        """Conversion gain (dB) at an RF and IF frequency.
+
+        ``rf_frequency`` applies the wide-band response of Fig. 8;
+        ``if_frequency`` applies the IF roll-off of the load / TIA feedback
+        pole that shapes Fig. 9.  Omitted arguments default to the design's
+        nominal operating point (2.405 GHz RF, 5 MHz IF).
+        """
+        rf = rf_frequency if rf_frequency is not None else self.design.rf_frequency
+        if_freq = if_frequency if if_frequency is not None \
+            else self.design.if_frequency
+        if rf <= 0 or if_freq <= 0:
+            raise ValueError("frequencies must be positive")
+        gain_db = self.peak_conversion_gain_db()
+        band = self.transconductor.band_response(
+            rf, self._coupling_capacitance(), self._band_node_resistance())
+        if_mag = self._if_filter().magnitude(if_freq)
+        return gain_db + float(db_from_voltage_ratio(band)) \
+            + float(db_from_voltage_ratio(if_mag))
+
+    def band_edges(self) -> tuple[float, float]:
+        """-3 dB RF band edges (Hz) of the current mode."""
+        return self.transconductor.band_edges(self._coupling_capacitance(),
+                                              self._band_node_resistance())
+
+    # -- noise figure -------------------------------------------------------------------
+
+    def white_noise_figure_db(self) -> float:
+        """DSB noise figure well above the flicker corner (dB).
+
+        The noise factor is a sum of physically identifiable terms referred
+        to the 50 ohm source:
+
+        * the Gm-device channel noise ``2 gamma / (gm Rs)``;
+        * the degeneration resistance (passive mode only);
+        * the quad switch on-resistances (passive mode only — in active mode
+          their cyclostationary contribution is folded into the switching
+          excess term);
+        * the commutation excess (LO noise folding, calibrated);
+        * the load / TIA noise referred through the conversion gain.
+        """
+        design = self.design
+        technology = design.technology
+        rs = REFERENCE_IMPEDANCE
+        gamma = technology.gamma_noise
+        gm = self.transconductor.raw_gm
+        gm_eff = self._effective_gm()
+
+        factor = 1.0
+        factor += 2.0 * gamma / (gm * rs)
+        factor += self.switching_quad.noise_excess_factor(self._mode)
+
+        if self._mode is MixerMode.PASSIVE:
+            factor += 2.0 * design.degeneration_resistance / rs
+            factor += 4.0 * self.switching_quad.switch_on_resistance / rs
+            conversion = SWITCHING_FACTOR * gm_eff
+            # R_F thermal noise referred to the RF input.
+            factor += 2.0 / (conversion ** 2 * design.feedback_resistance * rs)
+            # OTA input noise referred to the RF input through the voltage gain.
+            gain_voltage = conversion * design.feedback_resistance
+            ota_psd = 2.0 * self.tia.ota.input_noise_density ** 2
+            source_psd = 4.0 * BOLTZMANN * technology.temperature * rs
+            factor += ota_psd / (source_psd * gain_voltage ** 2)
+        else:
+            conversion = SWITCHING_FACTOR * gm_eff
+            factor += 2.0 / (conversion ** 2 * design.load_resistance * rs)
+
+        return float(noise_figure_from_factor(factor))
+
+    def flicker_corner_hz(self) -> float:
+        """1/f corner frequency of the current mode (Hz)."""
+        return self.switching_quad.flicker_corner(self._mode)
+
+    def noise_figure_db(self, if_frequency: float | None = None) -> float:
+        """DSB noise figure (dB) at an IF frequency, including the 1/f rise."""
+        if_freq = if_frequency if if_frequency is not None \
+            else self.design.if_frequency
+        return float(nf_with_flicker(self.white_noise_figure_db(),
+                                     self.flicker_corner_hz(), if_freq))
+
+    # -- linearity ----------------------------------------------------------------------
+
+    def gm_stage_iip3_dbm(self) -> float:
+        """IIP3 of the (possibly degenerated) Gm stage alone (dBm)."""
+        return self.transconductor.iip3_dbm()
+
+    def output_stage_iip3_dbm(self) -> float:
+        """Input-referred IIP3 contribution of the output network (dBm).
+
+        Active mode: the transmission-gate load / Gilbert-core headroom
+        intercept referred through the conversion gain.  Passive mode: the
+        TIA feedback suppresses the OTA's weak nonlinearity, so this term is
+        effectively absent (returned as +inf).
+        """
+        if self._mode is MixerMode.PASSIVE:
+            return math.inf
+        output_intercept = self.load.output_intercept_vpeak()
+        gain = SWITCHING_FACTOR * self._effective_gm() * self._load_resistance()
+        return float(dbm_from_vpeak(output_intercept / gain))
+
+    def iip3_dbm(self) -> float:
+        """Composite input-referred IIP3 (dBm) of the current mode.
+
+        The contributions (Gm stage, quad on-resistance modulation, output
+        network) are combined with the standard voltage-domain rule
+        ``1/A_total^2 = sum(1/A_k^2)`` since all are referred to the same
+        input port.
+        """
+        contributions_dbm = [self.gm_stage_iip3_dbm(),
+                             self.switching_quad.iip3_dbm(self._mode),
+                             self.output_stage_iip3_dbm()]
+        inverse_sum = 0.0
+        for value in contributions_dbm:
+            if math.isinf(value):
+                continue
+            amplitude = float(vpeak_from_dbm(value))
+            inverse_sum += 1.0 / (amplitude ** 2)
+        if inverse_sum == 0.0:
+            return math.inf
+        total_amplitude = math.sqrt(1.0 / inverse_sum)
+        return float(dbm_from_vpeak(total_amplitude))
+
+    def iip2_dbm(self) -> float:
+        """Input-referred IIP2 (dBm), limited by differential mismatch.
+
+        A perfectly balanced differential circuit cancels even-order
+        products; the residue is the single-ended second-order term of the
+        Gm device scaled by the fractional mismatch.
+        """
+        coefficients = self.transconductor.taylor_coefficients()
+        mismatch = self.design.differential_mismatch
+        if mismatch <= 0 or coefficients.g2 == 0.0:
+            return math.inf
+        single_ended_aiip2 = abs(coefficients.g1 / coefficients.g2)
+        balanced_aiip2 = single_ended_aiip2 / mismatch
+        return float(dbm_from_vpeak(balanced_aiip2))
+
+    def p1db_dbm(self) -> float:
+        """Analytic estimate of the input 1 dB compression point (dBm).
+
+        The smaller of the third-order estimate (IIP3 - 9.6 dB) and the
+        output-swing-limited value; the paper attributes the low-IF
+        compression to the OTA output swing.
+        """
+        candidates = [self.iip3_dbm() - 9.6]
+        gain = SWITCHING_FACTOR * self._effective_gm() * self._load_resistance()
+        # The output limiter used by the waveform model is a hard (6th-order)
+        # clip, which reaches 1 dB of compression when the ideal output is at
+        # about 98 % of the swing limit.
+        swing_limited_input = 0.98 * self.design.output_swing_limit / gain
+        candidates.append(float(dbm_from_vpeak(swing_limited_input)))
+        return min(candidates)
+
+    # -- power -----------------------------------------------------------------------------
+
+    def power_mw(self) -> float:
+        """Supply power of the current mode (mW); see :mod:`repro.core.power`."""
+        from repro.core.power import PowerBudget
+
+        return PowerBudget(self.design).total_mw(self._mode)
+
+    # -- aggregate -----------------------------------------------------------------------------
+
+    def specs(self) -> MixerSpecs:
+        """All headline specs of the current mode at the nominal operating point."""
+        band_low, band_high = self.band_edges()
+        return MixerSpecs(
+            mode=self._mode,
+            conversion_gain_db=self.conversion_gain_db(),
+            noise_figure_db=self.noise_figure_db(),
+            iip3_dbm=self.iip3_dbm(),
+            iip2_dbm=self.iip2_dbm(),
+            p1db_dbm=self.p1db_dbm(),
+            power_mw=self.power_mw(),
+            band_low_hz=band_low,
+            band_high_hz=band_high,
+            flicker_corner_hz=self.flicker_corner_hz(),
+        )
+
+    def paper_targets(self) -> PaperTargets:
+        """The paper's reported numbers for the current mode."""
+        return paper_targets(self._mode)
+
+    # -- waveform-level model ----------------------------------------------------------------
+
+    def waveform_device(self, sample_rate: float,
+                        lo_frequency: float | None = None,
+                        rf_band_frequency: float | None = None
+                        ) -> Callable[[np.ndarray], np.ndarray]:
+        """Build a waveform-in/waveform-out model of the current configuration.
+
+        The returned callable maps a sampled differential RF voltage to the
+        sampled differential IF output voltage:
+
+        1. the Gm-stage polynomial nonlinearity (third-order coefficient from
+           the device Taylor expansion, scaled by the wide-band response at
+           ``rf_band_frequency``);
+        2. the passive quad's on-resistance nonlinearity (passive mode only);
+        3. LO commutation by the band-limited switching function;
+        4. scaling by ``gm_eff * R_load`` (the 2/pi factor is produced by the
+           commutation itself);
+        5. the IF low-pass of the load / TIA feedback network;
+        6. the output-network third-order term (active mode) and a hard
+           output-swing limiter.
+
+        The same callable is what the IIP3, IIP2, P1dB and spot conversion
+        gain benches measure, so those numbers are read off spectra exactly
+        like the paper's simulations.
+        """
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        lo = lo_frequency if lo_frequency is not None else self.design.lo_frequency
+        if lo >= sample_rate / 2.0:
+            raise ValueError("sample rate must be more than twice the LO frequency")
+        rf_band = rf_band_frequency if rf_band_frequency is not None \
+            else self.design.rf_frequency
+
+        mode = self._mode
+        tca = self.transconductor
+        coefficients = tca.taylor_coefficients()
+        gm_ratio_a3 = coefficients.g3 / coefficients.g1 if coefficients.g1 else 0.0
+        # Residual even-order term: the differential topology cancels the
+        # device's g2 except for the fractional mismatch between the two
+        # half-circuits; this is what bounds the measured IIP2.
+        gm_ratio_a2 = 0.0
+        if coefficients.g1:
+            gm_ratio_a2 = self.design.differential_mismatch * \
+                coefficients.g2 / coefficients.g1
+        band = float(tca.band_response(rf_band, self._coupling_capacitance(),
+                                       self._band_node_resistance()))
+        gm_eff = self._effective_gm()
+        load_resistance = self._load_resistance()
+        if_filter = self._if_filter()
+        quad = SwitchingQuad(self.design, LoDrive(lo))
+        swing = self.design.output_swing_limit
+
+        quad_a3 = 0.0
+        quad_iip3 = quad.iip3_dbm(mode)
+        if not math.isinf(quad_iip3):
+            amplitude = float(vpeak_from_dbm(quad_iip3))
+            quad_a3 = -4.0 / (3.0 * amplitude ** 2)
+
+        output_a3 = 0.0
+        if mode is MixerMode.ACTIVE:
+            output_intercept = self.load.output_intercept_vpeak()
+            output_a3 = -4.0 / (3.0 * output_intercept ** 2)
+
+        def device(waveform: np.ndarray) -> np.ndarray:
+            original = np.asarray(waveform, dtype=float)
+            # Prepend one full copy of the record as a cyclic prefix so the IF
+            # filter reaches its periodic steady state before the measured
+            # block starts; measurement grids are coherently sampled, so the
+            # record is exactly periodic and the prefix is free of artefacts.
+            v = np.concatenate([original, original]) * band
+            # Gm-stage nonlinearity (voltage-normalised: unity linear term).
+            # The residual even-order product (mismatch-scaled) reaches the IF
+            # port without frequency conversion — the classic IM2 feedthrough
+            # mechanism of an imperfectly balanced quad — so it is added after
+            # the commutation rather than inside the converted path.
+            even_order = gm_ratio_a2 * v ** 2
+            v = v + gm_ratio_a3 * v ** 3
+            if quad_a3 != 0.0:
+                v = v + quad_a3 * v ** 3
+            times = np.arange(v.size) / sample_rate
+            commutated = quad.commutate(v, times) + even_order
+            scaled = commutated * gm_eff * load_resistance
+            filtered = if_filter.apply(scaled, sample_rate)
+            out = filtered + output_a3 * filtered ** 3
+            # Hard-ish swing limit: negligible odd-order distortion until the
+            # signal approaches the rail, then compression (models the OTA /
+            # output-stage clipping the paper blames for the low-IF P1dB).
+            ratio = out / swing
+            out = swing * ratio / np.power(1.0 + np.abs(ratio) ** 6, 1.0 / 6.0)
+            return out[original.size:]
+
+        return device
+
+    def downconvert(self, waveform: np.ndarray, sample_rate: float,
+                    lo_frequency: float | None = None) -> np.ndarray:
+        """Down-convert a sampled RF waveform with the current configuration."""
+        return self.waveform_device(sample_rate, lo_frequency)(waveform)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReconfigurableMixer(mode={self._mode.value})"

@@ -1,0 +1,162 @@
+"""The LO-driven switching quad (Fig. 4) shared by both mixer modes.
+
+Four NMOS devices commutate the differential RF current at the LO rate.  In
+active mode they sit on top of the common-source Gm devices (a classic
+double-balanced Gilbert cell); in passive mode they carry no DC current and
+behave as resistive switches characterised by ``R_on`` — the paper's
+"frequency mixer ... simply composed of four NMOS transistors characterized
+by resistance (Ron) when switched on".
+
+The class provides both the analytic quantities (conversion factor, switch
+resistance, noise excess) and the waveform-level commutation used by the
+measurement benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.devices.mosfet import Mosfet
+from repro.rf.conversion_gain import SWITCHING_FACTOR
+
+
+@dataclass(frozen=True)
+class LoDrive:
+    """Description of the local-oscillator drive applied to the quad."""
+
+    frequency: float
+    amplitude: float = 0.6
+    duty_cycle: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("LO frequency must be positive")
+        if not 0.0 < self.duty_cycle < 1.0:
+            raise ValueError("duty cycle must be in (0, 1)")
+        if self.amplitude <= 0:
+            raise ValueError("LO amplitude must be positive")
+
+
+class SwitchingQuad:
+    """Behavioural model of the four-transistor switching core."""
+
+    def __init__(self, design: MixerDesign, lo: LoDrive | None = None) -> None:
+        self.design = design
+        self.lo = lo if lo is not None else LoDrive(frequency=design.lo_frequency)
+
+    # -- devices -----------------------------------------------------------
+
+    @cached_property
+    def switch_device(self) -> Mosfet:
+        """One of the four identical NMOS switching devices."""
+        return Mosfet.nmos(self.design.quad_switch_width,
+                           self.design.quad_switch_length,
+                           self.design.technology)
+
+    @property
+    def switch_on_resistance(self) -> float:
+        """On-resistance of one switch at full LO drive (ohms)."""
+        technology = self.design.technology
+        # The switch source rides near mid-rail; the LO swings the gate to VDD.
+        vgs = technology.vdd - technology.mid_rail
+        return self.switch_device.on_resistance(vgs)
+
+    # -- conversion behaviour -------------------------------------------------
+
+    @property
+    def conversion_factor(self) -> float:
+        """Fundamental voltage/current conversion factor of the commutation.
+
+        An ideal hard-switched quad multiplies the signal by a +-1 square
+        wave; the component at the IF is ``2/pi`` of the input amplitude.
+        Finite rise/fall (soft switching) would reduce this slightly; the
+        behavioural model treats the quad as hard-switched, matching the
+        assumption behind the paper's equation (3).
+        """
+        return SWITCHING_FACTOR
+
+    def conversion_loss_db(self) -> float:
+        """Conversion loss of the bare quad in dB (a positive number)."""
+        return -20.0 * math.log10(self.conversion_factor)
+
+    def commutate(self, waveform: np.ndarray, times: np.ndarray,
+                  nyquist: float | None = None) -> np.ndarray:
+        """Multiply a sampled waveform by the band-limited LO switching function.
+
+        The switching function is the Fourier series of a +-1 square wave
+        truncated to the odd harmonics that fit below ``nyquist`` (defaulting
+        to the sample-rate Nyquist implied by ``times``); truncation keeps
+        the sampled simulation free of aliased LO harmonics while preserving
+        the 2/pi fundamental behaviour.
+        """
+        samples = np.asarray(waveform, dtype=float)
+        t = np.asarray(times, dtype=float)
+        if samples.shape != t.shape:
+            raise ValueError("waveform and times must have the same shape")
+        if nyquist is None:
+            if t.size < 2:
+                raise ValueError("need at least two time points")
+            sample_rate = 1.0 / (t[1] - t[0])
+            nyquist = sample_rate / 2.0
+        switching = np.zeros_like(t)
+        harmonic = 1
+        while harmonic * self.lo.frequency < nyquist:
+            coefficient = 4.0 / (math.pi * harmonic)
+            if harmonic % 4 == 3:
+                coefficient = -coefficient
+            switching += coefficient * np.cos(
+                2.0 * math.pi * harmonic * self.lo.frequency * t)
+            harmonic += 2
+        if harmonic == 1:
+            raise ValueError("sample rate too low to represent the LO fundamental")
+        return samples * switching
+
+    # -- noise -----------------------------------------------------------------
+
+    def noise_excess_factor(self, mode: MixerMode) -> float:
+        """Excess noise factor added by the commutation.
+
+        Switching folds noise from LO harmonics into the IF band and the
+        switch devices add their own thermal noise; the active mode also has
+        DC current flowing through the switches at the LO zero crossings
+        (the classic active-mixer flicker/white penalty).  The calibrated
+        base value comes from the design record.
+        """
+        base = self.design.switching_noise_excess
+        if mode is MixerMode.ACTIVE:
+            return base
+        # Passive quad: no DC current, only the switch resistance thermal noise.
+        return 0.35 * base
+
+    def flicker_corner(self, mode: MixerMode) -> float:
+        """1/f corner frequency contributed by the quad in a given mode (Hz).
+
+        In passive mode no DC current flows through the switches, so their
+        flicker noise barely appears at the output — the reason the paper can
+        claim a corner below 100 kHz.  In active mode the commutated bias
+        current translates switch flicker to the output.
+        """
+        if mode is MixerMode.ACTIVE:
+            return self.design.active_flicker_corner
+        return self.design.passive_flicker_corner
+
+    # -- linearity ---------------------------------------------------------------
+
+    def iip3_dbm(self, mode: MixerMode) -> float:
+        """Input-referred IIP3 contribution of the quad itself (dBm).
+
+        In active mode the quad is current-driven and contributes little
+        odd-order distortion compared with the Gm stage and the output load,
+        so it is treated as linear.  In passive mode the signal swings across
+        the switch on-resistance, whose modulation is the dominant
+        nonlinearity (see the paper's reference [6]); the calibrated value
+        lives in the design record.
+        """
+        if mode is MixerMode.ACTIVE:
+            return math.inf
+        return self.design.passive_quad_iip3_dbm

@@ -1,0 +1,244 @@
+"""The fully differential transconductance amplifier (TCA, Fig. 3).
+
+The TCA converts the differential RF voltage into a differential current
+that the switching quad commutates.  Its behavioural description is derived
+from the 65 nm device model:
+
+* the device width is solved so that the target ``gm`` is reached at the
+  allotted bias current (the paper tunes the active-mode gain through this
+  bias voltage);
+* the third-order nonlinearity comes from a numerical Taylor expansion of
+  the device I-V around the bias point — mobility degradation (``theta``)
+  is the physical mechanism — and source degeneration improves it the way
+  the passive mode exploits;
+* thermal and flicker noise densities come straight from the device model;
+* the wide-band frequency response is set by the input coupling network
+  (lower band edge) and the parasitic capacitance C_PAR at the output node
+  (upper band edge), which the paper explicitly minimises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.devices.mosfet import Mosfet, MosfetOperatingPoint
+from repro.devices.noise import FlickerNoise, ThermalNoise
+from repro.devices.technology import Technology
+from repro.units import REFERENCE_IMPEDANCE, dbm_from_vpeak
+from repro.core.config import MixerDesign
+
+
+@dataclass(frozen=True)
+class TaylorCoefficients:
+    """Taylor expansion of the drain current around the bias point.
+
+    ``i(v) ~= g1*v + g2*v^2 + g3*v^3`` for a small gate excursion ``v``.
+    """
+
+    g1: float
+    g2: float
+    g3: float
+
+    def iip3_vpeak(self) -> float:
+        """Input-referred third-order intercept amplitude (V peak)."""
+        if self.g3 == 0.0:
+            return math.inf
+        return math.sqrt((4.0 / 3.0) * abs(self.g1 / self.g3))
+
+    def iip3_dbm(self, impedance: float = REFERENCE_IMPEDANCE) -> float:
+        """Input-referred IIP3 in dBm into ``impedance``."""
+        amplitude = self.iip3_vpeak()
+        if math.isinf(amplitude):
+            return math.inf
+        return float(dbm_from_vpeak(amplitude, impedance))
+
+
+class TransconductanceAmplifier:
+    """Behavioural model of the TCA / active-mode Gm stage.
+
+    Parameters
+    ----------
+    design:
+        The mixer design point (bias current, target gm, component values).
+    degeneration_resistance:
+        Source degeneration seen by each Gm device (0 for the plain active
+        configuration; the PMOS switch resistance in passive mode).
+    """
+
+    def __init__(self, design: MixerDesign,
+                 degeneration_resistance: float = 0.0) -> None:
+        if degeneration_resistance < 0:
+            raise ValueError("degeneration resistance cannot be negative")
+        self.design = design
+        self.degeneration_resistance = degeneration_resistance
+        self.technology: Technology = design.technology
+        self._bias_per_side = design.tca_bias_current / 2.0
+
+    # -- device sizing --------------------------------------------------------
+
+    @cached_property
+    def device(self) -> Mosfet:
+        """The Gm MOSFET, sized so the target gm is met at the bias current."""
+        return self._size_device()
+
+    def _size_device(self) -> Mosfet:
+        """Solve the width that delivers ``tca_gm`` at the per-side bias current."""
+        design = self.design
+        length = design.gm_device_length
+        target_gm = design.tca_gm
+        bias = self._bias_per_side
+        vds = self.technology.mid_rail  # drain sits near mid-rail
+
+        def gm_at_width(width: float) -> float:
+            device = Mosfet.nmos(width, length, self.technology)
+            vgs = device.vgs_for_current(bias, vds)
+            return device.operating_point(vgs, vds).gm
+
+        # Bisection on width: gm at fixed current grows with W (smaller Vov).
+        lo, hi = 2e-6, 2000e-6
+        if gm_at_width(hi) < target_gm:
+            raise ValueError("target gm unreachable within the width search range")
+        for _ in range(80):
+            mid = math.sqrt(lo * hi)
+            if gm_at_width(mid) < target_gm:
+                lo = mid
+            else:
+                hi = mid
+        return Mosfet.nmos(math.sqrt(lo * hi), length, self.technology)
+
+    @cached_property
+    def bias_point(self) -> MosfetOperatingPoint:
+        """Operating point of one Gm device at the design bias."""
+        vds = self.technology.mid_rail
+        vgs = self.device.vgs_for_current(self._bias_per_side, vds)
+        return self.device.operating_point(vgs, vds)
+
+    @property
+    def bias_voltage(self) -> float:
+        """Gate bias voltage of the Gm devices (V)."""
+        return self.bias_point.vgs
+
+    # -- small-signal quantities ----------------------------------------------
+
+    @property
+    def raw_gm(self) -> float:
+        """Undegenerate device transconductance (S)."""
+        return self.bias_point.gm
+
+    @property
+    def effective_gm(self) -> float:
+        """Transconductance including source degeneration (S)."""
+        gm = self.raw_gm
+        return gm / (1.0 + gm * self.degeneration_resistance)
+
+    def gm_for_bias_voltage(self, vgs: float) -> float:
+        """Effective gm at an arbitrary gate bias (the paper's gain tuning knob)."""
+        op = self.device.operating_point(vgs, self.technology.mid_rail)
+        return op.gm / (1.0 + op.gm * self.degeneration_resistance)
+
+    # -- nonlinearity -----------------------------------------------------------
+
+    def taylor_coefficients(self, delta: float = 1e-3) -> TaylorCoefficients:
+        """Numerical Taylor expansion of the (degenerated) I-V around bias.
+
+        Central differences on the large-signal transfer (including the
+        series feedback of the degeneration resistor, solved per point)
+        produce g1..g3; g3 is what sets the IIP3.
+        """
+        vgs0 = self.bias_point.vgs
+        vds = self.technology.mid_rail
+        r_s = self.degeneration_resistance
+
+        def current(v_in: float) -> float:
+            """Drain current for an input excursion v_in with degeneration."""
+            if r_s == 0.0:
+                return self.device.drain_current(vgs0 + v_in, vds)
+            # Solve i = f(vgs0 + v_in - i * r_s) by fixed-point iteration.
+            i = self.device.drain_current(vgs0 + v_in, vds)
+            for _ in range(60):
+                i_new = self.device.drain_current(vgs0 + v_in - i * r_s, vds)
+                if abs(i_new - i) < 1e-15:
+                    i = i_new
+                    break
+                i = 0.5 * (i + i_new)
+            return i
+
+        i0 = current(0.0)
+        ip1, im1 = current(delta), current(-delta)
+        ip2, im2 = current(2.0 * delta), current(-2.0 * delta)
+        g1 = (ip1 - im1) / (2.0 * delta)
+        g2 = (ip1 - 2.0 * i0 + im1) / (2.0 * delta ** 2)
+        # Third derivative by central differences, divided by 3! for the
+        # Taylor coefficient.
+        third_derivative = (ip2 - 2.0 * ip1 + 2.0 * im1 - im2) / (2.0 * delta ** 3)
+        g3 = third_derivative / 6.0
+        return TaylorCoefficients(g1=g1, g2=g2, g3=g3)
+
+    def iip3_dbm(self) -> float:
+        """Input-referred IIP3 of the (possibly degenerated) Gm stage, in dBm."""
+        return self.taylor_coefficients().iip3_dbm()
+
+    # -- noise ------------------------------------------------------------------
+
+    def input_noise_sources(self) -> tuple[ThermalNoise, FlickerNoise]:
+        """Input-referred thermal and flicker noise of the differential pair."""
+        gm = self.raw_gm
+        gamma = self.technology.gamma_noise
+        # Two devices contribute; each has 4kT*gamma/gm input-referred, and the
+        # degeneration resistors add their own thermal noise.
+        equivalent_resistance = 2.0 * gamma / gm + 2.0 * self.degeneration_resistance
+        thermal = ThermalNoise(resistance=equivalent_resistance,
+                               temperature=self.technology.temperature)
+        flicker_psd_at_1hz = 2.0 * self.device.params.kf / \
+            self.device.params.gate_capacitance
+        flicker = FlickerNoise(k_flicker=flicker_psd_at_1hz)
+        return thermal, flicker
+
+    def flicker_corner(self) -> float:
+        """1/f corner frequency of the stand-alone Gm stage (Hz)."""
+        thermal, flicker = self.input_noise_sources()
+        return flicker.corner_with(thermal)
+
+    # -- wide-band response ------------------------------------------------------
+
+    def band_edges(self, coupling_capacitance: float,
+                   output_node_resistance: float) -> tuple[float, float]:
+        """(low, high) -3 dB band edges of the RF path in Hz.
+
+        The low edge comes from the series coupling capacitance working
+        against the 50 ohm source and gate impedance; the high edge from the
+        parasitic capacitance C_PAR at the transconductor output node working
+        against the impedance presented by that node (the transmission-gate
+        load in active mode, the TIA feedback impedance reflected through the
+        quad in passive mode).  Minimising C_PAR is what the paper credits
+        for the wide band.
+        """
+        if coupling_capacitance <= 0:
+            raise ValueError("coupling capacitance must be positive")
+        if output_node_resistance <= 0:
+            raise ValueError("output node resistance must be positive")
+        source_resistance = 2.0 * REFERENCE_IMPEDANCE
+        low_edge = 1.0 / (2.0 * math.pi * source_resistance * coupling_capacitance)
+        high_edge = 1.0 / (2.0 * math.pi * output_node_resistance *
+                           self.design.parasitic_capacitance)
+        return low_edge, high_edge
+
+    def band_response(self, rf_frequency: float | np.ndarray,
+                      coupling_capacitance: float,
+                      output_node_resistance: float) -> float | np.ndarray:
+        """Magnitude response (linear, <= 1) of the RF path at ``rf_frequency``.
+
+        First-order high-pass at the low edge and second-order low-pass at
+        the high edge; the product reproduces the band-pass shape of Fig. 8.
+        """
+        low_edge, high_edge = self.band_edges(coupling_capacitance,
+                                              output_node_resistance)
+        f = np.asarray(rf_frequency, dtype=float)
+        highpass = (f / low_edge) / np.sqrt(1.0 + (f / low_edge) ** 2)
+        lowpass = 1.0 / np.sqrt(1.0 + (f / high_edge) ** 4)
+        response = highpass * lowpass
+        return response if np.ndim(rf_frequency) else float(response)

@@ -1,0 +1,51 @@
+"""Behavioural device models for a 65 nm-class CMOS technology.
+
+The paper's circuit is designed in UMC 65 nm RFCMOS.  That PDK is
+proprietary, so this package provides open, behavioural equivalents:
+
+* :mod:`repro.devices.technology` — a :class:`Technology` record holding the
+  65 nm-class process constants (threshold voltages, mobility, oxide
+  capacitance, flicker-noise coefficients, supply voltage) used everywhere
+  else in the library;
+* :mod:`repro.devices.mosfet` — a square-law + velocity-saturation MOSFET
+  model with operating-point extraction (``id``, ``gm``, ``gds``, ``ro``) and
+  triode-region switch behaviour (``r_on``);
+* :mod:`repro.devices.passives` — resistors, capacitors and inductors with
+  simple parasitic models;
+* :mod:`repro.devices.noise` — thermal, flicker and shot noise sources and
+  helpers to combine their spectral densities.
+"""
+
+from repro.devices.technology import Technology, UMC65_LIKE, nominal_technology
+from repro.devices.mosfet import (
+    MosfetParameters,
+    Mosfet,
+    MosfetOperatingPoint,
+    MosfetRegion,
+)
+from repro.devices.passives import Resistor, Capacitor, Inductor
+from repro.devices.noise import (
+    NoiseSource,
+    ThermalNoise,
+    FlickerNoise,
+    ShotNoise,
+    CompositeNoise,
+)
+
+__all__ = [
+    "Technology",
+    "UMC65_LIKE",
+    "nominal_technology",
+    "MosfetParameters",
+    "Mosfet",
+    "MosfetOperatingPoint",
+    "MosfetRegion",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "NoiseSource",
+    "ThermalNoise",
+    "FlickerNoise",
+    "ShotNoise",
+    "CompositeNoise",
+]

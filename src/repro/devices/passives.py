@@ -1,0 +1,122 @@
+"""Passive component models (resistor, capacitor, inductor).
+
+These are deliberately small classes: each knows its impedance as a function
+of frequency and its thermal-noise contribution where applicable.  The
+circuit substrate (:mod:`repro.circuit`) stamps them into MNA matrices; the
+behavioural RF models use them directly for feedback and load impedances
+(``R_F || C_F`` of the TIA, the transmission-gate load with ``C_c``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import BOLTZMANN, T0_KELVIN
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """An ideal resistor with optional temperature for noise calculations."""
+
+    resistance: float
+    temperature: float = T0_KELVIN
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0:
+            raise ValueError("resistance must be non-negative")
+
+    def impedance(self, frequency: float) -> complex:
+        """Impedance at ``frequency`` (frequency-independent)."""
+        return complex(self.resistance, 0.0)
+
+    def admittance(self, frequency: float) -> complex:
+        """Admittance at ``frequency``; infinite resistance gives zero."""
+        if self.resistance == 0:
+            raise ZeroDivisionError("admittance of a short is unbounded")
+        return 1.0 / self.impedance(frequency)
+
+    def noise_voltage_density(self) -> float:
+        """Thermal-noise voltage spectral density (V/sqrt(Hz))."""
+        return math.sqrt(4.0 * BOLTZMANN * self.temperature * self.resistance)
+
+    def noise_current_density(self) -> float:
+        """Thermal-noise current spectral density (A/sqrt(Hz))."""
+        if self.resistance == 0:
+            return 0.0
+        return math.sqrt(4.0 * BOLTZMANN * self.temperature / self.resistance)
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """An ideal capacitor."""
+
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError("capacitance must be positive")
+
+    def impedance(self, frequency: float) -> complex:
+        """Impedance at ``frequency``; DC gives an open circuit (inf)."""
+        if frequency == 0:
+            return complex(math.inf, 0.0)
+        return 1.0 / (1j * 2.0 * math.pi * frequency * self.capacitance)
+
+    def admittance(self, frequency: float) -> complex:
+        """Admittance at ``frequency``."""
+        return 1j * 2.0 * math.pi * frequency * self.capacitance
+
+    def pole_frequency(self, resistance: float) -> float:
+        """-3 dB frequency of the RC formed with ``resistance`` (Hz)."""
+        if resistance <= 0:
+            raise ValueError("resistance must be positive")
+        return 1.0 / (2.0 * math.pi * resistance * self.capacitance)
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """An ideal inductor with an optional series resistance (finite Q)."""
+
+    inductance: float
+    series_resistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.inductance <= 0:
+            raise ValueError("inductance must be positive")
+        if self.series_resistance < 0:
+            raise ValueError("series resistance must be non-negative")
+
+    def impedance(self, frequency: float) -> complex:
+        """Impedance at ``frequency``."""
+        return self.series_resistance + 1j * 2.0 * math.pi * frequency * self.inductance
+
+    def quality_factor(self, frequency: float) -> float:
+        """Quality factor at ``frequency``; infinite for a lossless inductor."""
+        if self.series_resistance == 0:
+            return math.inf
+        return 2.0 * math.pi * frequency * self.inductance / self.series_resistance
+
+    def resonance_with(self, capacitance: float) -> float:
+        """Resonant frequency with a parallel/series capacitor (Hz)."""
+        if capacitance <= 0:
+            raise ValueError("capacitance must be positive")
+        return 1.0 / (2.0 * math.pi * math.sqrt(self.inductance * capacitance))
+
+
+def feedback_impedance(resistance: float, capacitance: float,
+                       frequency: float) -> complex:
+    """Impedance of a parallel RC feedback network ``R_F || C_F``.
+
+    This is the ``Z_F`` of the paper's equation (3): the passive-mode
+    conversion gain is ``(2/pi) * gm * Z_F`` and the TIA bandwidth is the RC
+    pole of this network.
+    """
+    if resistance <= 0 or capacitance <= 0:
+        raise ValueError("feedback R and C must be positive")
+    r = Resistor(resistance)
+    c = Capacitor(capacitance)
+    if frequency == 0:
+        return complex(resistance, 0.0)
+    y = r.admittance(frequency) + c.admittance(frequency)
+    return 1.0 / y

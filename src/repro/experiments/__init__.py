@@ -1,0 +1,38 @@
+"""Experiment drivers — one per figure/table of the paper's evaluation.
+
+Every driver exposes a ``run(...)`` function returning a plain dataclass of
+results, plus a ``format_report(...)`` helper that renders the same content
+as the text table/series the paper prints.  The benchmark harness under
+``benchmarks/`` simply calls these drivers, so "regenerate Fig. 8" is one
+function call both here and there.
+
+| driver | paper artefact |
+|---|---|
+| :mod:`repro.experiments.fig8_gain_vs_rf`   | Fig. 8 — conversion gain vs RF frequency |
+| :mod:`repro.experiments.fig9_nf_vs_if`     | Fig. 9 — NF and conversion gain vs IF frequency |
+| :mod:`repro.experiments.fig10_iip3`        | Fig. 10(a)/(b) — two-tone IIP3, both modes |
+| :mod:`repro.experiments.table1_comparison` | Table I — comparison with published designs |
+| :mod:`repro.experiments.iip2`              | section IV text — IIP2 > 65 dBm |
+| :mod:`repro.experiments.power_budget`      | section III/IV text — power per mode |
+| :mod:`repro.experiments.tia_response`      | equation (4) — TIA input impedance |
+"""
+
+from repro.experiments.fig8_gain_vs_rf import run_fig8, Fig8Result
+from repro.experiments.fig9_nf_vs_if import run_fig9, Fig9Result
+from repro.experiments.fig10_iip3 import run_fig10, Fig10Result
+from repro.experiments.table1_comparison import run_table1, Table1Result
+from repro.experiments.iip2 import run_iip2, Iip2Result
+from repro.experiments.power_budget import run_power_budget, PowerBudgetResult
+from repro.experiments.tia_response import run_tia_response, TiaResponseResult
+from repro.experiments.ablation import run_ablation, AblationResult
+
+__all__ = [
+    "run_ablation", "AblationResult",
+    "run_fig8", "Fig8Result",
+    "run_fig9", "Fig9Result",
+    "run_fig10", "Fig10Result",
+    "run_table1", "Table1Result",
+    "run_iip2", "Iip2Result",
+    "run_power_budget", "PowerBudgetResult",
+    "run_tia_response", "TiaResponseResult",
+]

@@ -1,0 +1,90 @@
+"""Fig. 8 — simulated conversion gain of the reconfigurable mixer vs RF frequency.
+
+The paper sweeps the RF frequency from 0.5 to 7 GHz at a fixed 5 MHz IF and
+plots the voltage conversion gain of both modes; the quoted numbers are
+29.2 dB (active) and 25.5 dB (passive) with -3 dB bands of 1-5.5 GHz and
+0.5-5.1 GHz respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.core.reconfigurable_mixer import ReconfigurableMixer
+from repro.units import ghz, mhz
+
+
+@dataclass
+class Fig8Result:
+    """Conversion-gain-vs-RF series for both modes."""
+
+    rf_frequencies_hz: np.ndarray
+    active_gain_db: np.ndarray
+    passive_gain_db: np.ndarray
+    if_frequency_hz: float
+
+    def peak_gain_db(self, mode: MixerMode) -> float:
+        """Maximum gain of a mode across the sweep."""
+        series = self.active_gain_db if mode is MixerMode.ACTIVE \
+            else self.passive_gain_db
+        return float(np.max(series))
+
+    def band_edges_hz(self, mode: MixerMode) -> tuple[float, float]:
+        """-3 dB band edges of a mode read off the swept curve."""
+        series = self.active_gain_db if mode is MixerMode.ACTIVE \
+            else self.passive_gain_db
+        peak = float(np.max(series))
+        above = self.rf_frequencies_hz[series >= peak - 3.0]
+        if above.size == 0:
+            return float("nan"), float("nan")
+        return float(above[0]), float(above[-1])
+
+    def gain_at(self, mode: MixerMode, rf_frequency_hz: float) -> float:
+        """Gain of a mode at the sweep point nearest ``rf_frequency_hz``."""
+        series = self.active_gain_db if mode is MixerMode.ACTIVE \
+            else self.passive_gain_db
+        index = int(np.argmin(np.abs(self.rf_frequencies_hz - rf_frequency_hz)))
+        return float(series[index])
+
+
+def run_fig8(design: MixerDesign | None = None,
+             rf_start_hz: float = ghz(0.3), rf_stop_hz: float = ghz(7.0),
+             points: int = 200, if_frequency_hz: float = mhz(5.0)) -> Fig8Result:
+    """Regenerate the Fig. 8 sweep.
+
+    Parameters mirror the paper's axis: RF from (just below) 0.5 GHz to
+    7 GHz at 5 MHz IF.
+    """
+    if points < 10:
+        raise ValueError("use at least 10 sweep points")
+    design = design if design is not None else MixerDesign()
+    frequencies = np.logspace(np.log10(rf_start_hz), np.log10(rf_stop_hz), points)
+
+    active = ReconfigurableMixer(design, MixerMode.ACTIVE)
+    passive = ReconfigurableMixer(design, MixerMode.PASSIVE)
+    active_gain = np.array([active.conversion_gain_db(f, if_frequency_hz)
+                            for f in frequencies])
+    passive_gain = np.array([passive.conversion_gain_db(f, if_frequency_hz)
+                             for f in frequencies])
+    return Fig8Result(
+        rf_frequencies_hz=frequencies,
+        active_gain_db=active_gain,
+        passive_gain_db=passive_gain,
+        if_frequency_hz=if_frequency_hz,
+    )
+
+
+def format_report(result: Fig8Result) -> str:
+    """Text rendering of the Fig. 8 series (peak gains and band edges)."""
+    lines = ["Fig. 8 — conversion gain vs RF frequency (IF = "
+             f"{result.if_frequency_hz / 1e6:.1f} MHz)"]
+    for mode in (MixerMode.ACTIVE, MixerMode.PASSIVE):
+        low, high = result.band_edges_hz(mode)
+        lines.append(
+            f"  {mode.value:>7}: peak {result.peak_gain_db(mode):5.1f} dB, "
+            f"gain@2.45GHz {result.gain_at(mode, 2.45e9):5.1f} dB, "
+            f"-3 dB band {low / 1e9:.2f}-{high / 1e9:.2f} GHz")
+    return "\n".join(lines)

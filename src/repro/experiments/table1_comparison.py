@@ -1,0 +1,127 @@
+"""Table I — simulation results of this work and comparison with prior designs.
+
+The table has ten columns: the two modes of this work plus eight published
+designs, and eight rows: gain, NF, IIP3, 1 dB compression, power, bandwidth,
+technology, supply.  This driver rebuilds the whole table: the "this work"
+columns come from the reconfigurable-mixer model (analytic specs, the same
+ones the waveform measurements corroborate) and the reference columns from
+the published-baseline database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.published import TABLE_I_ORDER, all_published_baselines
+from repro.core.config import (
+    MixerDesign,
+    MixerMode,
+    PAPER_TARGETS_ACTIVE,
+    PAPER_TARGETS_PASSIVE,
+)
+from repro.core.reconfigurable_mixer import MixerSpecs, ReconfigurableMixer
+
+#: Row labels in the order the paper prints them.
+TABLE_I_ROWS = [
+    "gain_db", "nf_db", "iip3_dbm", "p1db_dbm", "power_mw",
+    "band_low_ghz", "band_high_ghz", "technology", "supply_v",
+]
+
+
+@dataclass
+class Table1Result:
+    """The regenerated Table I."""
+
+    this_work_active: MixerSpecs
+    this_work_passive: MixerSpecs
+    columns: list[dict[str, float | str | None]]
+
+    def column(self, design_label: str) -> dict[str, float | str | None]:
+        """One column by its design label (e.g. ``"This work (active)"``, ``"[5]"``)."""
+        for column in self.columns:
+            if column["design"] == design_label:
+                return column
+        raise KeyError(f"no column labelled {design_label!r}")
+
+    def deviations_from_paper(self) -> dict[str, dict[str, float]]:
+        """Measured-minus-paper deltas for the "this work" columns."""
+        deltas: dict[str, dict[str, float]] = {}
+        for specs, targets in ((self.this_work_active, PAPER_TARGETS_ACTIVE),
+                               (self.this_work_passive, PAPER_TARGETS_PASSIVE)):
+            deltas[specs.mode.value] = {
+                "gain_db": specs.conversion_gain_db - targets.conversion_gain_db,
+                "nf_db": specs.noise_figure_db - targets.noise_figure_db,
+                "iip3_dbm": specs.iip3_dbm - targets.iip3_dbm,
+                "p1db_dbm": specs.p1db_dbm - targets.p1db_dbm,
+                "power_mw": specs.power_mw - targets.power_mw,
+            }
+        return deltas
+
+    def best_iip3_design(self) -> str:
+        """Design label with the highest reported IIP3 (ties broken by order)."""
+        best_label, best_value = "", float("-inf")
+        for column in self.columns:
+            value = column.get("iip3_dbm")
+            if isinstance(value, (int, float)) and value > best_value:
+                best_label, best_value = str(column["design"]), float(value)
+        return best_label
+
+    def highest_gain_design(self) -> str:
+        """Design label with the highest conversion gain."""
+        best_label, best_value = "", float("-inf")
+        for column in self.columns:
+            value = column.get("gain_db")
+            if isinstance(value, (int, float)) and value > best_value:
+                best_label, best_value = str(column["design"]), float(value)
+        return best_label
+
+
+def run_table1(design: MixerDesign | None = None) -> Table1Result:
+    """Regenerate Table I (this work in both modes plus the eight references)."""
+    design = design if design is not None else MixerDesign()
+    active = ReconfigurableMixer(design, MixerMode.ACTIVE).specs()
+    passive = ReconfigurableMixer(design, MixerMode.PASSIVE).specs()
+
+    columns: list[dict[str, float | str | None]] = [
+        active.as_table_row(), passive.as_table_row()]
+    columns.extend(baseline.spec.as_table_row()
+                   for baseline in all_published_baselines())
+    return Table1Result(this_work_active=active, this_work_passive=passive,
+                        columns=columns)
+
+
+def format_report(result: Table1Result) -> str:
+    """Render the regenerated table as fixed-width text."""
+    header = ["parameter"] + [str(column["design"]) for column in result.columns]
+    rows: list[list[str]] = []
+    labels = {
+        "gain_db": "Gain (dB)",
+        "nf_db": "Noise figure (dB)",
+        "iip3_dbm": "IIP3 (dBm)",
+        "p1db_dbm": "1dB-CP (dBm)",
+        "power_mw": "Power (mW)",
+        "band_low_ghz": "Band low (GHz)",
+        "band_high_ghz": "Band high (GHz)",
+        "technology": "CMOS technology",
+        "supply_v": "Supply (V)",
+    }
+    for key in TABLE_I_ROWS:
+        row = [labels[key]]
+        for column in result.columns:
+            value = column.get(key)
+            if value is None:
+                row.append("NA")
+            elif isinstance(value, float):
+                row.append(f"{value:.2f}".rstrip("0").rstrip("."))
+            else:
+                row.append(str(value))
+        rows.append(row)
+
+    widths = [max(len(line[i]) for line in [header] + rows)
+              for i in range(len(header))]
+    def fmt(line: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+
+    out = ["Table I — simulation results and comparison", fmt(header)]
+    out.extend(fmt(row) for row in rows)
+    return "\n".join(out)

@@ -1,0 +1,107 @@
+"""RF analysis toolkit: signals, spectra, nonlinearity and noise metrics.
+
+This package is the measurement bench of the reproduction.  It provides the
+same analyses an RF designer would run in Spectre RF, re-expressed for
+behavioural waveform models:
+
+* :mod:`repro.rf.signal` — tones, two-tone sources, LO waveforms, coherent
+  sampling grids;
+* :mod:`repro.rf.spectrum` — windowed FFTs, power-per-bin in dBm, spur
+  searching;
+* :mod:`repro.rf.blocks` — memoryless behavioural RF blocks (gain, IIP3,
+  NF, saturation) and cascade formulas (Friis, IIP3 cascade);
+* :mod:`repro.rf.twotone` — IM3/IM2 extraction and IIP3/IIP2 fitting
+  (Fig. 10 of the paper);
+* :mod:`repro.rf.compression` — 1 dB compression point sweeps (Table I row);
+* :mod:`repro.rf.noise_figure` — noise factor algebra, DSB/SSB NF, flicker
+  corners (Fig. 9);
+* :mod:`repro.rf.conversion_gain` — conversion-gain measurement and the
+  2/pi switching-mixer theory (Fig. 8, equation 3);
+* :mod:`repro.rf.network` — 50 ohm interfaces, reflection, available power;
+* :mod:`repro.rf.filters` — first-order RC responses used by the TIA and
+  the transmission-gate load.
+"""
+
+from repro.rf.signal import (
+    Tone,
+    TwoToneSource,
+    sample_times,
+    coherent_sample_count,
+    sine_wave,
+    square_lo,
+)
+from repro.rf.spectrum import Spectrum, power_dbm_at, fundamental_power_dbm
+from repro.rf.blocks import BehavioralBlock, CascadeResult, cascade
+from repro.rf.twotone import (
+    TwoToneResult,
+    intermod_frequencies,
+    measure_two_tone,
+    iip3_from_powers,
+    iip2_from_powers,
+    fit_intercept_point,
+)
+from repro.rf.compression import CompressionResult, measure_compression_point
+from repro.rf.noise_figure import (
+    noise_factor_from_figure,
+    noise_figure_from_factor,
+    friis_cascade_nf,
+    nf_with_flicker,
+    flicker_corner_from_nf,
+    dsb_from_ssb,
+    ssb_from_dsb,
+)
+from repro.rf.conversion_gain import (
+    switching_mixer_voltage_gain,
+    passive_mixer_gain_db,
+    active_mixer_gain_db,
+    measure_conversion_gain,
+)
+from repro.rf.network import (
+    reflection_coefficient,
+    vswr,
+    return_loss_db,
+    available_power_dbm,
+    mismatch_loss_db,
+)
+from repro.rf.filters import FirstOrderLowPass, rc_pole_frequency
+
+__all__ = [
+    "Tone",
+    "TwoToneSource",
+    "sample_times",
+    "coherent_sample_count",
+    "sine_wave",
+    "square_lo",
+    "Spectrum",
+    "power_dbm_at",
+    "fundamental_power_dbm",
+    "BehavioralBlock",
+    "CascadeResult",
+    "cascade",
+    "TwoToneResult",
+    "intermod_frequencies",
+    "measure_two_tone",
+    "iip3_from_powers",
+    "iip2_from_powers",
+    "fit_intercept_point",
+    "CompressionResult",
+    "measure_compression_point",
+    "noise_factor_from_figure",
+    "noise_figure_from_factor",
+    "friis_cascade_nf",
+    "nf_with_flicker",
+    "flicker_corner_from_nf",
+    "dsb_from_ssb",
+    "ssb_from_dsb",
+    "switching_mixer_voltage_gain",
+    "passive_mixer_gain_db",
+    "active_mixer_gain_db",
+    "measure_conversion_gain",
+    "reflection_coefficient",
+    "vswr",
+    "return_loss_db",
+    "available_power_dbm",
+    "mismatch_loss_db",
+    "FirstOrderLowPass",
+    "rc_pole_frequency",
+]

@@ -1,0 +1,118 @@
+"""Conversion-gain theory and measurement for commutating mixers.
+
+Two views of the same quantity:
+
+* the *theory* helpers implement the switching-function expressions the
+  paper quotes — a hard-switched quad multiplies the RF current by a square
+  wave whose fundamental coefficient gives the 2/pi factor of equation (3),
+  ``VCG = (2/pi) * gm * Z_F`` for the passive mode and the analogous
+  ``(2/pi) * gm * R_load`` for the active Gilbert cell;
+* :func:`measure_conversion_gain` measures the gain of an actual
+  waveform-level device by injecting an RF tone and reading the IF tone off
+  the output spectrum, which is how the Fig. 8 / Fig. 9 gain curves are
+  regenerated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.rf.signal import Tone, sample_times
+from repro.rf.spectrum import Spectrum
+from repro.units import db_from_voltage_ratio
+
+WaveformTransfer = Callable[[np.ndarray], np.ndarray]
+
+#: Fundamental Fourier coefficient of a +-1 square wave divided by 2 — the
+#: voltage conversion factor of an ideal hard-switched commutating mixer.
+SWITCHING_FACTOR = 2.0 / math.pi
+
+
+def switching_mixer_voltage_gain(gm: float, load_impedance: float) -> float:
+    """Linear voltage conversion gain of an ideal commutating mixer.
+
+    ``(2/pi) * gm * |Z_load|`` — equation (3) of the paper with ``Z_F`` as
+    the load, equally applicable to the active mode with the transmission
+    gate resistance as the load.
+    """
+    if gm <= 0:
+        raise ValueError("gm must be positive")
+    if load_impedance <= 0:
+        raise ValueError("load impedance magnitude must be positive")
+    return SWITCHING_FACTOR * gm * load_impedance
+
+
+def passive_mixer_gain_db(gm: float, feedback_resistance: float,
+                          feedback_capacitance: float,
+                          if_frequency: float) -> float:
+    """Passive-mode conversion gain in dB at a given IF frequency.
+
+    The load is the TIA feedback network ``R_F || C_F`` (equation 3); its RC
+    pole is what rolls the gain off at high IF in Fig. 9.
+    """
+    from repro.devices.passives import feedback_impedance
+
+    z_f = abs(feedback_impedance(feedback_resistance, feedback_capacitance,
+                                 if_frequency))
+    return float(db_from_voltage_ratio(switching_mixer_voltage_gain(gm, z_f)))
+
+
+def active_mixer_gain_db(gm: float, load_resistance: float,
+                         load_capacitance: float | None = None,
+                         if_frequency: float | None = None) -> float:
+    """Active-mode (Gilbert cell) conversion gain in dB.
+
+    The load is the transmission-gate resistance, optionally shunted by the
+    low-pass capacitor ``C_c`` when an IF frequency is given.
+    """
+    if load_capacitance is not None and if_frequency is not None:
+        from repro.devices.passives import feedback_impedance
+
+        load = abs(feedback_impedance(load_resistance, load_capacitance,
+                                      if_frequency))
+    else:
+        load = load_resistance
+    return float(db_from_voltage_ratio(switching_mixer_voltage_gain(gm, load)))
+
+
+def measure_conversion_gain(device: WaveformTransfer, rf_frequency: float,
+                            if_frequency: float, input_power_dbm: float,
+                            sample_rate: float, num_samples: int) -> float:
+    """Measure the conversion gain (dB) of a waveform-level mixer model.
+
+    A single RF tone at ``input_power_dbm`` is applied and the output power
+    at ``if_frequency`` compared against the input power; because both are
+    expressed in dBm into the same reference impedance the difference is the
+    conversion gain in dB.
+    """
+    if input_power_dbm > -20.0:
+        raise ValueError(
+            "use a small-signal input (<= -20 dBm) for conversion-gain "
+            "measurements to stay clear of compression")
+    times = sample_times(sample_rate, num_samples)
+    tone = Tone(rf_frequency, input_power_dbm)
+    output = device(tone.waveform(times))
+    spectrum = Spectrum(output, sample_rate)
+    output_dbm = spectrum.power_dbm_at(if_frequency)
+    return output_dbm - input_power_dbm
+
+
+def image_rejection_ratio_db(device: WaveformTransfer, rf_frequency: float,
+                             image_frequency: float, if_frequency: float,
+                             input_power_dbm: float, sample_rate: float,
+                             num_samples: int) -> float:
+    """Ratio of wanted-band to image-band conversion gain (dB).
+
+    A direct-conversion/low-IF receiver cares about how much the image
+    frequency is suppressed; for the single-path behavioural models here the
+    value is near 0 dB (no complex image rejection), but the measurement is
+    provided for front-end experiments that add polyphase filtering.
+    """
+    wanted = measure_conversion_gain(device, rf_frequency, if_frequency,
+                                     input_power_dbm, sample_rate, num_samples)
+    image = measure_conversion_gain(device, image_frequency, if_frequency,
+                                    input_power_dbm, sample_rate, num_samples)
+    return wanted - image

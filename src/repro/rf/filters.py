@@ -1,0 +1,97 @@
+"""First-order filter responses used by the mixer's load and TIA stages.
+
+The paper uses two first-order RC low-pass networks: the feedback ``R_F C_F``
+of the TIA (which doubles as the anti-aliasing filter for the passive mode)
+and the transmission-gate load with ``C_c`` in the active mode.  Both are
+captured by :class:`FirstOrderLowPass`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rc_pole_frequency(resistance: float, capacitance: float) -> float:
+    """-3 dB frequency of a first-order RC network (Hz)."""
+    if resistance <= 0 or capacitance <= 0:
+        raise ValueError("R and C must be positive")
+    return 1.0 / (2.0 * math.pi * resistance * capacitance)
+
+
+@dataclass(frozen=True)
+class FirstOrderLowPass:
+    """A single-pole low-pass response with a DC gain."""
+
+    dc_gain: float
+    pole_frequency: float
+
+    def __post_init__(self) -> None:
+        if self.pole_frequency <= 0:
+            raise ValueError("pole frequency must be positive")
+
+    @classmethod
+    def from_rc(cls, resistance: float, capacitance: float,
+                dc_gain: float = 1.0) -> "FirstOrderLowPass":
+        """Build the response of an RC network with an optional DC gain."""
+        return cls(dc_gain=dc_gain,
+                   pole_frequency=rc_pole_frequency(resistance, capacitance))
+
+    def response(self, frequency: float | np.ndarray) -> complex | np.ndarray:
+        """Complex transfer function at ``frequency``."""
+        f = np.asarray(frequency, dtype=float)
+        h = self.dc_gain / (1.0 + 1j * f / self.pole_frequency)
+        return h if np.ndim(frequency) else complex(h)
+
+    def magnitude(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Magnitude response."""
+        mag = np.abs(self.response(frequency))
+        return mag if np.ndim(frequency) else float(mag)
+
+    def magnitude_db(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Magnitude response in dB."""
+        mag = self.magnitude(frequency)
+        result = 20.0 * np.log10(mag)
+        return result if np.ndim(frequency) else float(result)
+
+    def phase_degrees(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Phase response in degrees."""
+        phase = np.degrees(np.angle(self.response(frequency)))
+        return phase if np.ndim(frequency) else float(phase)
+
+    def group_delay(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Group delay in seconds (analytic expression for one pole)."""
+        f = np.asarray(frequency, dtype=float)
+        tau = 1.0 / (2.0 * math.pi * self.pole_frequency)
+        delay = tau / (1.0 + (f / self.pole_frequency) ** 2)
+        return delay if np.ndim(frequency) else float(delay)
+
+    def attenuation_at(self, frequency: float) -> float:
+        """Attenuation relative to DC, in dB (non-negative)."""
+        return float(20.0 * math.log10(self.dc_gain) - self.magnitude_db(frequency))
+
+    def apply(self, waveform: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Filter a sampled waveform with the single-pole response.
+
+        Implemented as a first-order IIR (bilinear-transformed RC), which is
+        adequate for the behavioural signal paths in this library.
+        """
+        from scipy.signal import lfilter
+
+        samples = np.asarray(waveform, dtype=float)
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        # Bilinear transform of H(s) = g / (1 + s/wc).
+        wc = 2.0 * math.pi * self.pole_frequency
+        k = 2.0 * sample_rate
+        a0 = wc + k
+        b_coeffs = [self.dc_gain * wc / a0, self.dc_gain * wc / a0]
+        a_coeffs = [1.0, (wc - k) / a0]
+        # Seed the filter state so a DC input starts at its settled output,
+        # avoiding a start-up transient that would smear the spectrum.
+        initial = samples[0] * self.dc_gain
+        zi = [initial - b_coeffs[0] * samples[0]]
+        out, _ = lfilter(b_coeffs, a_coeffs, samples, zi=zi)
+        return out

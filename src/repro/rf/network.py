@@ -1,0 +1,95 @@
+"""50 ohm interface calculations: reflection, VSWR, available power.
+
+The paper's front end takes the differential RF input through a balun with a
+50 ohm input termination; these helpers quantify how imperfect terminations
+affect the power actually delivered to the transconductor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.units import REFERENCE_IMPEDANCE, dbm_from_vpeak, watts_from_dbm
+
+
+def reflection_coefficient(load_impedance: complex,
+                           source_impedance: complex = REFERENCE_IMPEDANCE
+                           ) -> complex:
+    """Voltage reflection coefficient of ``load`` against ``source``."""
+    denominator = load_impedance + source_impedance
+    if denominator == 0:
+        raise ValueError("load and source impedances sum to zero")
+    return (load_impedance - source_impedance) / denominator
+
+
+def return_loss_db(load_impedance: complex,
+                   source_impedance: complex = REFERENCE_IMPEDANCE) -> float:
+    """Return loss in dB (positive number; larger is better matched)."""
+    gamma = abs(reflection_coefficient(load_impedance, source_impedance))
+    if gamma == 0:
+        return math.inf
+    return -20.0 * math.log10(gamma)
+
+
+def vswr(load_impedance: complex,
+         source_impedance: complex = REFERENCE_IMPEDANCE) -> float:
+    """Voltage standing-wave ratio of the termination."""
+    gamma = abs(reflection_coefficient(load_impedance, source_impedance))
+    if gamma >= 1.0:
+        return math.inf
+    return (1.0 + gamma) / (1.0 - gamma)
+
+
+def mismatch_loss_db(load_impedance: complex,
+                     source_impedance: complex = REFERENCE_IMPEDANCE) -> float:
+    """Power lost to the impedance mismatch (dB, non-negative)."""
+    gamma = abs(reflection_coefficient(load_impedance, source_impedance))
+    transmitted = 1.0 - gamma ** 2
+    if transmitted <= 0:
+        return math.inf
+    return -10.0 * math.log10(transmitted)
+
+
+def available_power_dbm(source_voltage_peak: float,
+                        source_impedance: float = REFERENCE_IMPEDANCE) -> float:
+    """Available power of a source (delivered into a conjugate match), in dBm."""
+    if source_impedance <= 0:
+        raise ValueError("source impedance must be positive")
+    # Available power = Vs^2 / (8 * Rs) for a peak open-circuit voltage Vs.
+    power_watts = source_voltage_peak ** 2 / (8.0 * source_impedance)
+    if power_watts <= 0:
+        return -math.inf
+    return 10.0 * math.log10(power_watts / 1e-3)
+
+
+def delivered_power_dbm(source_voltage_peak: float, load_impedance: complex,
+                        source_impedance: float = REFERENCE_IMPEDANCE) -> float:
+    """Power delivered to an arbitrary load from a matched-source generator (dBm)."""
+    if source_impedance <= 0:
+        raise ValueError("source impedance must be positive")
+    z_total = load_impedance + source_impedance
+    current_peak = source_voltage_peak / abs(z_total)
+    power_watts = 0.5 * current_peak ** 2 * load_impedance.real
+    if power_watts <= 0:
+        return -math.inf
+    return 10.0 * math.log10(power_watts / 1e-3)
+
+
+def balun_output_amplitudes(input_peak: float, loss_db: float = 0.0,
+                            imbalance_db: float = 0.0,
+                            ) -> tuple[float, float]:
+    """Differential output amplitudes of a balun given loss and imbalance.
+
+    An ideal lossless balun splits the input into two anti-phase halves.
+    ``loss_db`` is the total insertion loss and ``imbalance_db`` a gain
+    imbalance between the two outputs (half added to one leg, half removed
+    from the other).
+    """
+    if loss_db < 0:
+        raise ValueError("insertion loss cannot be negative")
+    scale = 10.0 ** (-loss_db / 20.0)
+    half = input_peak * scale / 2.0
+    delta = 10.0 ** (imbalance_db / 40.0)
+    return half * delta, half / delta

@@ -1,0 +1,152 @@
+"""Signal sources: tones, two-tone stimuli, LO waveforms, sampling grids.
+
+Mixer measurements live and die by coherent sampling: if the tone
+frequencies do not land exactly on FFT bins, spectral leakage swamps the
+third-order products that the IIP3 fit needs.  The helpers here construct
+sampling grids on which all the frequencies of interest are bin-exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.units import REFERENCE_IMPEDANCE, vpeak_from_dbm
+
+
+@dataclass(frozen=True)
+class Tone:
+    """A single sinusoidal tone described by power into a reference impedance."""
+
+    frequency: float
+    power_dbm: float
+    phase: float = 0.0
+    impedance: float = REFERENCE_IMPEDANCE
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError("tone frequency must be positive")
+
+    @property
+    def amplitude(self) -> float:
+        """Peak voltage amplitude of the tone (V)."""
+        return float(vpeak_from_dbm(self.power_dbm, self.impedance))
+
+    def waveform(self, times: np.ndarray) -> np.ndarray:
+        """Sampled waveform of the tone at the given time points."""
+        return self.amplitude * np.cos(
+            2.0 * math.pi * self.frequency * np.asarray(times) + self.phase)
+
+
+@dataclass(frozen=True)
+class TwoToneSource:
+    """Two equal-power tones, the stimulus of the IIP3/IIP2 measurements.
+
+    The paper's Fig. 10 uses two closely spaced RF tones around the 2.4 GHz
+    LO; after downconversion the fundamentals land at ``|f1 - f_lo|`` and
+    ``|f2 - f_lo|`` and the IM3 products at ``2 f1 - f2`` / ``2 f2 - f1``
+    (all referred to baseband).
+    """
+
+    frequency_1: float
+    frequency_2: float
+    power_dbm: float
+    impedance: float = REFERENCE_IMPEDANCE
+
+    def __post_init__(self) -> None:
+        if self.frequency_1 <= 0 or self.frequency_2 <= 0:
+            raise ValueError("tone frequencies must be positive")
+        if self.frequency_1 == self.frequency_2:
+            raise ValueError("the two tones must have distinct frequencies")
+
+    @property
+    def tones(self) -> tuple[Tone, Tone]:
+        """The two individual tones."""
+        return (Tone(self.frequency_1, self.power_dbm, impedance=self.impedance),
+                Tone(self.frequency_2, self.power_dbm, impedance=self.impedance))
+
+    @property
+    def spacing(self) -> float:
+        """Tone spacing (Hz)."""
+        return abs(self.frequency_2 - self.frequency_1)
+
+    def waveform(self, times: np.ndarray) -> np.ndarray:
+        """Sampled sum of the two tones."""
+        tone_a, tone_b = self.tones
+        return tone_a.waveform(times) + tone_b.waveform(times)
+
+    def with_power(self, power_dbm: float) -> "TwoToneSource":
+        """Copy of the source at a different per-tone power."""
+        return TwoToneSource(self.frequency_1, self.frequency_2, power_dbm,
+                             self.impedance)
+
+
+def sample_times(sample_rate: float, num_samples: int) -> np.ndarray:
+    """Uniform time grid of ``num_samples`` points at ``sample_rate`` Hz."""
+    if sample_rate <= 0:
+        raise ValueError("sample rate must be positive")
+    if num_samples <= 0:
+        raise ValueError("number of samples must be positive")
+    return np.arange(num_samples) / sample_rate
+
+
+def coherent_sample_count(frequencies: list[float], sample_rate: float,
+                          minimum_samples: int = 4096,
+                          maximum_samples: int = 1 << 22) -> int:
+    """Number of samples that makes every frequency land on an FFT bin.
+
+    The count returned is the smallest multiple of the fundamental period
+    (the reciprocal of the greatest common divisor of the tone frequencies
+    expressed on the sample grid) that is at least ``minimum_samples``.
+    """
+    if sample_rate <= 0:
+        raise ValueError("sample rate must be positive")
+    if not frequencies:
+        raise ValueError("need at least one frequency")
+    fractions = [Fraction(f / sample_rate).limit_denominator(1 << 20)
+                 for f in frequencies]
+    denominator = 1
+    for fraction in fractions:
+        denominator = denominator * fraction.denominator // math.gcd(
+            denominator, fraction.denominator)
+    count = denominator
+    while count < minimum_samples:
+        count += denominator
+    if count > maximum_samples:
+        raise ValueError(
+            f"coherent sampling would need {count} samples "
+            f"(> {maximum_samples}); choose rounder frequencies"
+        )
+    return count
+
+
+def sine_wave(frequency: float, amplitude: float, times: np.ndarray,
+              phase: float = 0.0) -> np.ndarray:
+    """A plain sampled sine wave (amplitude in volts peak)."""
+    if frequency <= 0:
+        raise ValueError("frequency must be positive")
+    return amplitude * np.cos(2.0 * math.pi * frequency * np.asarray(times) + phase)
+
+
+def square_lo(frequency: float, times: np.ndarray, amplitude: float = 1.0,
+              phase: float = 0.0) -> np.ndarray:
+    """An ideal square-wave LO toggling between +amplitude and -amplitude.
+
+    This is the switching function of a hard-switched commutating quad: the
+    mixer core multiplies the RF current by this waveform, whose fundamental
+    Fourier coefficient (4/pi) is where the familiar 2/pi conversion factor
+    comes from.
+    """
+    if frequency <= 0:
+        raise ValueError("LO frequency must be positive")
+    argument = 2.0 * math.pi * frequency * np.asarray(times) + phase
+    return amplitude * np.sign(np.cos(argument))
+
+
+def differential_pair(waveform: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a single-ended waveform into a balanced differential pair."""
+    half = np.asarray(waveform) / 2.0
+    return half, -half

@@ -1,0 +1,163 @@
+"""Spectral analysis of sampled waveforms.
+
+The mixer experiments measure everything — conversion gain, IM3 products,
+compression — by looking at the FFT of a time-domain waveform, exactly as a
+bench spectrum analyser would.  :class:`Spectrum` wraps the bookkeeping:
+windowing, single-sided scaling, power-per-tone in dBm and peak searching.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.units import REFERENCE_IMPEDANCE, dbm_from_vpeak
+
+
+@dataclass
+class SpectralPeak:
+    """A located spectral peak."""
+
+    frequency: float
+    amplitude: float  # volts peak
+    power_dbm: float
+
+
+class Spectrum:
+    """Single-sided amplitude spectrum of a real sampled waveform.
+
+    Parameters
+    ----------
+    waveform:
+        Real time-domain samples (volts).
+    sample_rate:
+        Sampling rate in Hz.
+    window:
+        ``"rect"`` for coherently sampled signals (the default used by the
+        benches, which construct bin-exact grids) or ``"hann"`` when leakage
+        has to be suppressed at the cost of amplitude accuracy.
+    impedance:
+        Reference impedance for dBm conversions.
+    """
+
+    def __init__(self, waveform: np.ndarray, sample_rate: float,
+                 window: str = "rect",
+                 impedance: float = REFERENCE_IMPEDANCE) -> None:
+        samples = np.asarray(waveform, dtype=float)
+        if samples.ndim != 1 or samples.size < 8:
+            raise ValueError("waveform must be a 1-D array of at least 8 samples")
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        self.sample_rate = sample_rate
+        self.impedance = impedance
+        self.num_samples = samples.size
+
+        if window == "rect":
+            windowed = samples
+            coherent_gain = 1.0
+        elif window == "hann":
+            win = np.hanning(samples.size)
+            windowed = samples * win
+            coherent_gain = float(np.mean(win))
+        else:
+            raise ValueError(f"unknown window {window!r}")
+
+        raw = np.fft.rfft(windowed)
+        # Single-sided amplitude spectrum in volts peak.
+        amplitude = np.abs(raw) / samples.size / coherent_gain
+        amplitude[1:] *= 2.0
+        self.frequencies = np.fft.rfftfreq(samples.size, d=1.0 / sample_rate)
+        self.amplitudes = amplitude
+
+    # -- bin access ----------------------------------------------------------
+
+    @property
+    def bin_width(self) -> float:
+        """Frequency resolution (Hz per bin)."""
+        return self.sample_rate / self.num_samples
+
+    def bin_of(self, frequency: float) -> int:
+        """Index of the bin nearest to ``frequency``."""
+        if frequency < 0 or frequency > self.sample_rate / 2.0:
+            raise ValueError(
+                f"frequency {frequency:.4g} Hz outside the Nyquist range")
+        return int(round(frequency / self.bin_width))
+
+    def amplitude_at(self, frequency: float, search_bins: int = 0) -> float:
+        """Peak voltage amplitude near ``frequency`` (max over +-search_bins).
+
+        The default reads the exact bin, which is correct for the coherently
+        sampled grids the measurement benches construct; widen
+        ``search_bins`` when the tone frequency is only approximately known.
+        """
+        centre = self.bin_of(frequency)
+        lo = max(0, centre - search_bins)
+        hi = min(len(self.amplitudes), centre + search_bins + 1)
+        return float(np.max(self.amplitudes[lo:hi]))
+
+    def power_dbm_at(self, frequency: float, search_bins: int = 0) -> float:
+        """Tone power in dBm near ``frequency``."""
+        amplitude = self.amplitude_at(frequency, search_bins)
+        if amplitude <= 0:
+            return -math.inf
+        return float(dbm_from_vpeak(amplitude, self.impedance))
+
+    # -- aggregate measures ----------------------------------------------------
+
+    def total_power_dbm(self, exclude_dc: bool = True) -> float:
+        """Total signal power in dBm (sum of all bins)."""
+        amplitudes = self.amplitudes[1:] if exclude_dc else self.amplitudes
+        power_watts = float(np.sum(amplitudes ** 2 / (2.0 * self.impedance)))
+        if power_watts <= 0:
+            return -math.inf
+        return 10.0 * math.log10(power_watts / 1e-3)
+
+    def peaks(self, count: int = 5, min_frequency: float = 0.0) -> list[SpectralPeak]:
+        """The ``count`` largest spectral peaks above ``min_frequency``."""
+        mask = self.frequencies >= max(min_frequency, self.bin_width * 0.5)
+        candidate_indices = np.nonzero(mask)[0]
+        if candidate_indices.size == 0:
+            return []
+        order = np.argsort(self.amplitudes[candidate_indices])[::-1]
+        result = []
+        for index in candidate_indices[order][:count]:
+            amplitude = float(self.amplitudes[index])
+            result.append(SpectralPeak(
+                frequency=float(self.frequencies[index]),
+                amplitude=amplitude,
+                power_dbm=float(dbm_from_vpeak(amplitude, self.impedance))
+                if amplitude > 0 else -math.inf,
+            ))
+        return result
+
+    def spur_free_dynamic_range_db(self, fundamental: float) -> float:
+        """Difference between the fundamental and the largest other spur (dB)."""
+        fundamental_bin = self.bin_of(fundamental)
+        amplitudes = self.amplitudes.copy()
+        lo = max(0, fundamental_bin - 1)
+        hi = min(len(amplitudes), fundamental_bin + 2)
+        fundamental_amplitude = float(np.max(amplitudes[lo:hi]))
+        amplitudes[lo:hi] = 0.0
+        amplitudes[0] = 0.0
+        largest_spur = float(np.max(amplitudes))
+        if largest_spur <= 0 or fundamental_amplitude <= 0:
+            return math.inf
+        return 20.0 * math.log10(fundamental_amplitude / largest_spur)
+
+
+def power_dbm_at(waveform: np.ndarray, sample_rate: float, frequency: float,
+                 impedance: float = REFERENCE_IMPEDANCE) -> float:
+    """Convenience wrapper: tone power of ``waveform`` at ``frequency`` in dBm."""
+    return Spectrum(waveform, sample_rate, impedance=impedance).power_dbm_at(frequency)
+
+
+def fundamental_power_dbm(waveform: np.ndarray, sample_rate: float,
+                          impedance: float = REFERENCE_IMPEDANCE) -> tuple[float, float]:
+    """Frequency and power of the largest non-DC spectral component."""
+    spectrum = Spectrum(waveform, sample_rate, impedance=impedance)
+    peaks = spectrum.peaks(count=1)
+    if not peaks:
+        return 0.0, -math.inf
+    return peaks[0].frequency, peaks[0].power_dbm

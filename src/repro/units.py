@@ -1,0 +1,201 @@
+"""Unit conversions and small quantity helpers used across the library.
+
+The RF literature mixes logarithmic (dB, dBm) and linear (V/V, W, V_rms)
+quantities freely; every experiment in the paper reports gains in dB and
+powers in dBm referenced to a 50 ohm system.  Centralising the conversions
+here keeps the rest of the code free of scattered ``10 * log10`` calls and
+makes the reference impedance explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Default reference impedance for dBm <-> voltage conversions (ohms).
+REFERENCE_IMPEDANCE = 50.0
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+#: Standard noise-figure reference temperature (K), per IEEE definition.
+T0_KELVIN = 290.0
+
+#: Elementary charge (C), used by shot-noise models.
+ELECTRON_CHARGE = 1.602176634e-19
+
+
+# ---------------------------------------------------------------------------
+# decibel helpers
+# ---------------------------------------------------------------------------
+
+def db_from_power_ratio(ratio: float | np.ndarray) -> float | np.ndarray:
+    """Convert a power ratio to decibels (``10 log10``)."""
+    return 10.0 * np.log10(ratio)
+
+
+def power_ratio_from_db(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert decibels to a power ratio."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+
+
+def db_from_voltage_ratio(ratio: float | np.ndarray) -> float | np.ndarray:
+    """Convert a voltage ratio to decibels (``20 log10``)."""
+    return 20.0 * np.log10(ratio)
+
+
+def voltage_ratio_from_db(db: float | np.ndarray) -> float | np.ndarray:
+    """Convert decibels to a voltage ratio."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 20.0)
+
+
+# ---------------------------------------------------------------------------
+# power helpers
+# ---------------------------------------------------------------------------
+
+def dbm_from_watts(power_watts: float | np.ndarray) -> float | np.ndarray:
+    """Convert power in watts to dBm."""
+    return 10.0 * np.log10(np.asarray(power_watts, dtype=float) / 1e-3)
+
+
+def watts_from_dbm(power_dbm: float | np.ndarray) -> float | np.ndarray:
+    """Convert dBm to watts."""
+    return 1e-3 * np.power(10.0, np.asarray(power_dbm, dtype=float) / 10.0)
+
+
+def dbm_from_vpeak(v_peak: float | np.ndarray,
+                   impedance: float = REFERENCE_IMPEDANCE) -> float | np.ndarray:
+    """Power in dBm of a sinusoid of peak amplitude ``v_peak`` into ``impedance``."""
+    v_peak = np.asarray(v_peak, dtype=float)
+    power_watts = v_peak ** 2 / (2.0 * impedance)
+    return dbm_from_watts(power_watts)
+
+
+def vpeak_from_dbm(power_dbm: float | np.ndarray,
+                   impedance: float = REFERENCE_IMPEDANCE) -> float | np.ndarray:
+    """Peak sinusoid amplitude corresponding to a power in dBm into ``impedance``."""
+    power_watts = watts_from_dbm(power_dbm)
+    return np.sqrt(2.0 * impedance * power_watts)
+
+
+def vrms_from_dbm(power_dbm: float | np.ndarray,
+                  impedance: float = REFERENCE_IMPEDANCE) -> float | np.ndarray:
+    """RMS voltage corresponding to a power in dBm into ``impedance``."""
+    return vpeak_from_dbm(power_dbm, impedance) / math.sqrt(2.0)
+
+
+def dbm_from_vrms(v_rms: float | np.ndarray,
+                  impedance: float = REFERENCE_IMPEDANCE) -> float | np.ndarray:
+    """Power in dBm of an RMS voltage into ``impedance``."""
+    v_rms = np.asarray(v_rms, dtype=float)
+    return dbm_from_watts(v_rms ** 2 / impedance)
+
+
+# ---------------------------------------------------------------------------
+# frequency / engineering notation helpers
+# ---------------------------------------------------------------------------
+
+_SI_PREFIXES = (
+    (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+    (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+    (1e-12, "p"), (1e-15, "f"),
+)
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.4e9, 'Hz')`` -> ``'2.4 GHz'``."""
+    if value == 0.0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def ghz(value: float) -> float:
+    """Frequency given in GHz, returned in Hz."""
+    return value * 1e9
+
+
+def mhz(value: float) -> float:
+    """Frequency given in MHz, returned in Hz."""
+    return value * 1e6
+
+
+def khz(value: float) -> float:
+    """Frequency given in kHz, returned in Hz."""
+    return value * 1e3
+
+
+def logspace(start_hz: float, stop_hz: float, points: int) -> np.ndarray:
+    """Logarithmically spaced frequency grid between two frequencies in Hz."""
+    if start_hz <= 0 or stop_hz <= 0:
+        raise ValueError("logspace endpoints must be positive frequencies")
+    return np.logspace(math.log10(start_hz), math.log10(stop_hz), points)
+
+
+def linspace(start_hz: float, stop_hz: float, points: int) -> np.ndarray:
+    """Linearly spaced frequency grid between two frequencies in Hz."""
+    return np.linspace(start_hz, stop_hz, points)
+
+
+# ---------------------------------------------------------------------------
+# misc numeric helpers
+# ---------------------------------------------------------------------------
+
+def parallel(*impedances: float | complex) -> float | complex:
+    """Parallel combination of impedances/resistances.
+
+    Zero-valued branches short the combination; an empty call is an error.
+    """
+    if not impedances:
+        raise ValueError("parallel() needs at least one impedance")
+    if any(z == 0 for z in impedances):
+        return 0.0
+    admittance = sum(1.0 / z for z in impedances)
+    return 1.0 / admittance
+
+
+def series(*impedances: float | complex) -> float | complex:
+    """Series combination of impedances (simple sum, provided for symmetry)."""
+    if not impedances:
+        raise ValueError("series() needs at least one impedance")
+    return sum(impedances)
+
+
+def thermal_noise_voltage_density(resistance: float,
+                                  temperature: float = T0_KELVIN) -> float:
+    """One-sided thermal noise voltage spectral density of a resistor (V/sqrt(Hz))."""
+    if resistance < 0:
+        raise ValueError("resistance must be non-negative")
+    return math.sqrt(4.0 * BOLTZMANN * temperature * resistance)
+
+
+def thermal_noise_current_density(conductance: float,
+                                  temperature: float = T0_KELVIN) -> float:
+    """One-sided thermal noise current spectral density of a conductance (A/sqrt(Hz))."""
+    if conductance < 0:
+        raise ValueError("conductance must be non-negative")
+    return math.sqrt(4.0 * BOLTZMANN * temperature * conductance)
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError("clamp() requires low <= high")
+    return max(low, min(high, value))
+
+
+def geometric_mean(values: Sequence[float] | Iterable[float]) -> float:
+    """Geometric mean of positive values (used for band-centre calculations)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean() of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean() requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

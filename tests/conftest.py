@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+
+@pytest.fixture(scope="session")
+def design() -> MixerDesign:
+    """Default design point (the paper's operating point)."""
+    return MixerDesign()
+
+
+@pytest.fixture(scope="session")
+def active_mixer(design: MixerDesign) -> ReconfigurableMixer:
+    """The mixer configured in active (Gilbert-cell) mode."""
+    return ReconfigurableMixer(design, MixerMode.ACTIVE)
+
+
+@pytest.fixture(scope="session")
+def passive_mixer(design: MixerDesign) -> ReconfigurableMixer:
+    """The mixer configured in passive (current-commutating) mode."""
+    return ReconfigurableMixer(design, MixerMode.PASSIVE)
+
+
+#: Sampling grid shared by waveform-level tests: 10.24 GS/s, 1 MHz bins.
+SAMPLE_RATE = 10.24e9
+NUM_SAMPLES = 10240
+
+
+@pytest.fixture(scope="session")
+def sample_rate() -> float:
+    """Waveform test sample rate (Hz)."""
+    return SAMPLE_RATE
+
+
+@pytest.fixture(scope="session")
+def num_samples() -> int:
+    """Waveform test record length (samples)."""
+    return NUM_SAMPLES

@@ -1,0 +1,65 @@
+"""Tests for the ablation experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    format_report,
+    run_ablation,
+    run_corner_sweep,
+    run_degeneration_ablation,
+    run_load_flatness_ablation,
+    run_tia_gating_ablation,
+)
+
+
+class TestDegenerationAblation:
+    def test_degeneration_buys_linearity_and_costs_gain(self, design):
+        result = run_degeneration_ablation(design)
+        assert result.linearity_benefit_db > 1.0
+        assert result.gain_cost_db > 1.0
+        assert result.iip3_strong_dbm > result.iip3_nominal_dbm
+        assert result.strong_resistance_ohm > result.nominal_resistance_ohm
+
+    def test_rejects_non_increasing_scale(self, design):
+        with pytest.raises(ValueError):
+            run_degeneration_ablation(design, strong_scale=0.5)
+
+
+class TestLoadFlatnessAblation:
+    def test_transmission_gate_is_flatter_than_single_nmos(self, design):
+        result = run_load_flatness_ablation(design)
+        assert result.transmission_gate_flatness < result.single_nmos_flatness
+        assert result.improvement_ratio > 2.0
+
+
+class TestTiaGatingAblation:
+    def test_gating_saves_the_tia_branch(self, design):
+        result = run_tia_gating_ablation(design)
+        assert result.power_saving_mw == pytest.approx(
+            design.tia_supply_current * design.vdd * 1e3)
+        assert result.active_power_without_gating_mw > \
+            result.active_power_with_gating_mw
+
+
+class TestCornerSweep:
+    def test_three_corners_preserve_mode_ordering(self, design):
+        points = run_corner_sweep(design)
+        assert [p.corner for p in points] == ["nominal", "slow", "fast"]
+        for point in points:
+            assert point.active_gain_db > point.passive_gain_db
+            assert point.active_nf_db < point.passive_nf_db
+
+    def test_fast_corner_has_more_gain_than_slow(self, design):
+        points = {p.corner: p for p in run_corner_sweep(design)}
+        assert points["fast"].active_gain_db > points["slow"].active_gain_db
+
+
+class TestAggregate:
+    def test_run_ablation_and_report(self, design):
+        result = run_ablation(design)
+        report = format_report(result)
+        assert "degeneration" in report
+        assert "TIA gating" in report
+        assert "corner" in report

@@ -1,0 +1,140 @@
+"""Tests for the Table I baseline library."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaselineMixer,
+    BaselineSpec,
+    GilbertCellMixer,
+    PassiveCurrentCommutatingMixer,
+    VariableGainMixer,
+    published_baseline,
+    published_references,
+)
+from repro.baselines.published import PUBLISHED_BASELINES, all_published_baselines
+from repro.rf.conversion_gain import measure_conversion_gain
+
+
+class TestPublishedDatabase:
+    def test_all_eight_references_present(self):
+        assert len(published_references()) == 8
+        assert set(published_references()) == set(PUBLISHED_BASELINES)
+
+    def test_table_values_transcribed(self):
+        # Spot-check a few cells against the paper's Table I.
+        assert PUBLISHED_BASELINES["[2]"].gain_db == pytest.approx(14.5)
+        assert PUBLISHED_BASELINES["[2]"].nf_db == pytest.approx(6.5)
+        assert PUBLISHED_BASELINES["[2]"].iip3_dbm is None
+        assert PUBLISHED_BASELINES["[4]"].gain_db == pytest.approx(35.0)
+        assert PUBLISHED_BASELINES["[4]"].power_mw == pytest.approx(20.25)
+        assert PUBLISHED_BASELINES["[5]"].technology == "180nm"
+        assert PUBLISHED_BASELINES["[11]"].band_high_ghz == pytest.approx(12.0)
+
+    def test_unknown_reference_rejected(self):
+        with pytest.raises(KeyError):
+            published_baseline("[99]")
+
+    def test_rows_have_required_columns(self):
+        for baseline in all_published_baselines():
+            row = baseline.spec.as_table_row()
+            for key in ("design", "gain_db", "power_mw", "technology"):
+                assert key in row
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BaselineSpec("[x]", "bad band", 10.0, 5.0, 0.0, None, 10.0,
+                         band_low_ghz=2.0, band_high_ghz=1.0,
+                         technology="65nm", supply_v=1.2)
+        with pytest.raises(ValueError):
+            BaselineSpec("[x]", "bad power", 10.0, 5.0, 0.0, None, 0.0,
+                         band_low_ghz=1.0, band_high_ghz=2.0,
+                         technology="65nm", supply_v=1.2)
+
+
+class TestBaselineMixerBehaviour:
+    def test_gain_rolls_off_outside_published_band(self):
+        baseline = published_baseline("[5]")   # 0.7-2.3 GHz
+        in_band = baseline.conversion_gain_db(1.5e9)
+        out_low = baseline.conversion_gain_db(0.1e9)
+        out_high = baseline.conversion_gain_db(8e9)
+        assert in_band > out_low + 6.0
+        assert in_band > out_high + 6.0
+
+    def test_missing_nf_raises(self):
+        baseline = published_baseline("[10]")
+        with pytest.raises(ValueError):
+            baseline.noise_figure_db()
+
+    def test_p1db_falls_back_to_iip3_rule(self):
+        baseline = published_baseline("[3]")  # no published P1dB, has IIP3
+        assert baseline.p1db_dbm() == pytest.approx(10.8 - 9.6)
+
+    def test_figure_of_merit_ranks_sensible(self):
+        # [4] has huge gain but also huge power; [11] is lean.
+        fom_4 = published_baseline("[4]").figure_of_merit()
+        fom_11 = published_baseline("[11]").figure_of_merit()
+        assert fom_11 > fom_4 - 30.0  # both finite and comparable in magnitude
+
+    def test_waveform_device_reproduces_published_gain(self):
+        baseline = published_baseline("[5]")
+        fs, n = 10.24e9, 10240
+        device = baseline.waveform_device(fs, lo_frequency=2.0e9)
+        measured = measure_conversion_gain(device, 2.005e9, 5e6, -40.0, fs, n)
+        assert measured == pytest.approx(baseline.spec.gain_db, abs=0.5)
+
+    def test_waveform_device_validates_inputs(self):
+        baseline = published_baseline("[5]")
+        with pytest.raises(ValueError):
+            baseline.waveform_device(-1.0, 2e9)
+        with pytest.raises(ValueError):
+            baseline.waveform_device(1e9, 2e9)
+
+
+class TestParameterisedBaselines:
+    def test_gilbert_cell_derivations(self):
+        gilbert = GilbertCellMixer()
+        assert gilbert.conversion_gain_db() == pytest.approx(
+            20.0 * math.log10((2.0 / math.pi) * 15e-3 * 3.3e3), abs=0.01)
+        assert 4.0 < gilbert.noise_figure_db() < 12.0
+        assert gilbert.power_mw() == pytest.approx(7.8 * 1.2, rel=1e-6)
+        spec = gilbert.as_spec()
+        assert spec.p1db_dbm == pytest.approx(spec.iip3_dbm - 9.6)
+        assert isinstance(gilbert.as_baseline(), BaselineMixer)
+
+    def test_passive_baseline_degeneration_tradeoff(self):
+        weak = PassiveCurrentCommutatingMixer(degeneration_resistance=0.0)
+        strong = PassiveCurrentCommutatingMixer(degeneration_resistance=100.0)
+        assert strong.iip3_dbm() > weak.iip3_dbm()
+        assert strong.conversion_gain_db() < weak.conversion_gain_db()
+        assert strong.noise_figure_db() > weak.noise_figure_db()
+
+    def test_passive_baseline_is_more_linear_than_gilbert(self):
+        gilbert = GilbertCellMixer()
+        passive = PassiveCurrentCommutatingMixer()
+        assert passive.iip3_dbm() > gilbert.iip3_dbm()
+
+    def test_variable_gain_mixer_settings(self):
+        vg = VariableGainMixer()
+        settings = vg.gain_settings(4)
+        assert settings[0] == pytest.approx(vg.min_gain_db)
+        assert settings[-1] == pytest.approx(vg.max_gain_db)
+        # NF degrades and IIP3 only partially recovers as gain steps down.
+        assert vg.nf_at(vg.min_gain_db) > vg.nf_at(vg.max_gain_db)
+        assert vg.iip3_at(vg.min_gain_db) > vg.iip3_at(vg.max_gain_db)
+        recovered = vg.iip3_at(vg.min_gain_db) - vg.iip3_at(vg.max_gain_db)
+        given_up = vg.max_gain_db - vg.min_gain_db
+        assert recovered < given_up
+
+    def test_variable_gain_mixer_shortfall(self):
+        vg = VariableGainMixer()
+        assert vg.linearity_shortfall_vs(required_iip3_dbm=10.0) > 0.0
+        assert vg.linearity_shortfall_vs(required_iip3_dbm=-30.0) == 0.0
+        with pytest.raises(ValueError):
+            vg.iip3_at(vg.max_gain_db + 5.0)
+        with pytest.raises(ValueError):
+            vg.gain_settings(1)

@@ -1,0 +1,254 @@
+"""Tests for the MNA circuit substrate: netlist, DC, AC, transient, two-port."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    CapacitorElement,
+    Circuit,
+    CurrentSource,
+    InductorElement,
+    MosfetElement,
+    ResistorElement,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    ac_sweep,
+    dc_operating_point,
+    impedance_at_port,
+    transient,
+)
+from repro.circuit.dc import ConvergenceError
+from repro.circuit.twoport import two_port_from_circuit
+from repro.devices.mosfet import Mosfet, MosfetRegion
+
+
+def resistor_divider() -> Circuit:
+    circuit = Circuit("divider")
+    circuit.add(VoltageSource("v1", "in", "0", dc=1.2))
+    circuit.add(ResistorElement("r1", "in", "mid", 1e3))
+    circuit.add(ResistorElement("r2", "mid", "0", 3e3))
+    return circuit
+
+
+class TestNetlist:
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.add(ResistorElement("r1", "a", "0", 1e3))
+        with pytest.raises(ValueError):
+            circuit.add(ResistorElement("r1", "b", "0", 1e3))
+
+    def test_node_enumeration_excludes_ground(self):
+        circuit = resistor_divider()
+        assert set(circuit.nodes()) == {"in", "mid"}
+        assert circuit.system_size() == 2 + 1  # two nodes + one branch current
+
+    def test_element_lookup(self):
+        circuit = resistor_divider()
+        assert circuit.element("r1").resistance == 1e3
+        with pytest.raises(KeyError):
+            circuit.element("missing")
+        assert "r2" in circuit
+        assert len(circuit) == 3
+
+    def test_validate_requires_ground_reference(self):
+        circuit = Circuit("floating")
+        circuit.add(ResistorElement("r1", "a", "b", 1e3))
+        with pytest.raises(ValueError):
+            circuit.validate()
+
+    def test_validate_requires_elements(self):
+        with pytest.raises(ValueError):
+            Circuit("empty").validate()
+
+
+class TestDCAnalysis:
+    def test_resistor_divider(self):
+        solution = dc_operating_point(resistor_divider())
+        assert solution.voltage("mid") == pytest.approx(0.9)
+        assert solution.voltage("in") == pytest.approx(1.2)
+
+    def test_branch_current_and_supply_power(self):
+        solution = dc_operating_point(resistor_divider())
+        current = solution.branch_current("v1")
+        # The solver adds a gmin of 1e-12 S per node, so agreement is to ~1e-6.
+        assert abs(current) == pytest.approx(1.2 / 4e3, rel=1e-5)
+        assert solution.supply_power() == pytest.approx(1.2 ** 2 / 4e3, rel=1e-5)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit("i-r")
+        circuit.add(CurrentSource("i1", "0", "out", dc=1e-3))
+        circuit.add(ResistorElement("r1", "out", "0", 2e3))
+        solution = dc_operating_point(circuit)
+        assert solution.voltage("out") == pytest.approx(2.0)
+
+    def test_vccs_gain_stage(self):
+        circuit = Circuit("gm-stage")
+        circuit.add(VoltageSource("vin", "in", "0", dc=0.01))
+        circuit.add(VCCS("gm", "out", "0", "in", "0", transconductance=10e-3))
+        circuit.add(ResistorElement("rl", "out", "0", 1e3))
+        solution = dc_operating_point(circuit)
+        # v_out = -gm * v_in * R_L
+        assert solution.voltage("out") == pytest.approx(-0.1, rel=1e-6)
+
+    def test_vcvs_amplifier(self):
+        circuit = Circuit("vcvs")
+        circuit.add(VoltageSource("vin", "in", "0", dc=0.05))
+        circuit.add(VCVS("a1", "out", "0", "in", "0", gain=20.0))
+        circuit.add(ResistorElement("rl", "out", "0", 1e3))
+        solution = dc_operating_point(circuit)
+        assert solution.voltage("out") == pytest.approx(1.0, rel=1e-9)
+
+    def test_inductor_is_dc_short(self):
+        circuit = Circuit("lr")
+        circuit.add(VoltageSource("v1", "in", "0", dc=1.0))
+        circuit.add(InductorElement("l1", "in", "out", 1e-9))
+        circuit.add(ResistorElement("r1", "out", "0", 1e3))
+        solution = dc_operating_point(circuit)
+        assert solution.voltage("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_diode_connected_mosfet_bias(self):
+        circuit = Circuit("diode-connected")
+        circuit.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        circuit.add(ResistorElement("rb", "vdd", "g", 2e3))
+        device = Mosfet.nmos(30e-6, 100e-9)
+        circuit.add(MosfetElement("m1", "g", "g", "0", device))
+        solution = dc_operating_point(circuit)
+        vgs = solution.voltage("g")
+        assert device.params.vth < vgs < 1.2
+        op = device.operating_point(vgs, vgs)
+        # KCL: resistor current equals device current.
+        assert op.id == pytest.approx((1.2 - vgs) / 2e3, rel=1e-3)
+        assert op.region is MosfetRegion.SATURATION
+
+    def test_common_source_amplifier_dc(self):
+        circuit = Circuit("common-source")
+        circuit.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        circuit.add(VoltageSource("vg", "g", "0", dc=0.55))
+        circuit.add(ResistorElement("rd", "vdd", "d", 2e3))
+        circuit.add(MosfetElement("m1", "d", "g", "0", Mosfet.nmos(20e-6, 100e-9)))
+        solution = dc_operating_point(circuit)
+        assert 0.0 < solution.voltage("d") < 1.2
+
+    def test_nonconvergence_raises(self):
+        circuit = resistor_divider()
+        with pytest.raises(ConvergenceError):
+            dc_operating_point(circuit, max_iterations=0 + 1, tolerance=0.0)
+
+
+class TestACAnalysis:
+    def test_rc_lowpass_minus_3db_at_pole(self):
+        r, c = 1e3, 1e-9
+        pole = 1.0 / (2.0 * math.pi * r * c)
+        circuit = Circuit("rc")
+        circuit.add(VoltageSource("vin", "in", "0", dc=0.0, ac=1.0))
+        circuit.add(ResistorElement("r1", "in", "out", r))
+        circuit.add(CapacitorElement("c1", "out", "0", c))
+        ac = ac_sweep(circuit, np.array([pole / 100.0, pole, pole * 100.0]))
+        gain = np.abs(ac.voltage("out"))
+        assert gain[0] == pytest.approx(1.0, abs=1e-3)
+        assert gain[1] == pytest.approx(1.0 / math.sqrt(2.0), rel=1e-3)
+        assert gain[2] == pytest.approx(0.01, rel=0.05)
+
+    def test_transfer_db_and_corner_finder(self):
+        r, c = 1e3, 1e-9
+        pole = 1.0 / (2.0 * math.pi * r * c)
+        circuit = Circuit("rc")
+        circuit.add(VoltageSource("vin", "in", "0", dc=0.0, ac=1.0))
+        circuit.add(ResistorElement("r1", "in", "out", r))
+        circuit.add(CapacitorElement("c1", "out", "0", c))
+        freqs = np.logspace(math.log10(pole / 100), math.log10(pole * 100), 201)
+        ac = ac_sweep(circuit, freqs)
+        assert ac.minus_3db_frequency("out", "in") == pytest.approx(pole, rel=0.05)
+
+    def test_common_source_small_signal_gain(self):
+        circuit = Circuit("cs-amp")
+        circuit.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+        circuit.add(VoltageSource("vg", "g", "0", dc=0.55, ac=1.0))
+        circuit.add(ResistorElement("rd", "vdd", "d", 2e3))
+        device = Mosfet.nmos(20e-6, 100e-9)
+        circuit.add(MosfetElement("m1", "d", "g", "0", device,
+                                  include_capacitance=False))
+        dc = dc_operating_point(circuit)
+        op = device.operating_point(dc.voltage("g"), dc.voltage("d"))
+        ac = ac_sweep(circuit, np.array([1e6]), dc_solution=dc)
+        measured_gain = abs(ac.voltage("d")[0])
+        expected = op.gm * (1.0 / (1.0 / 2e3 + op.gds))
+        assert measured_gain == pytest.approx(expected, rel=1e-3)
+
+    def test_mosfet_capacitance_rolls_off_gain(self):
+        def gain_at(freq: float, include_cap: bool) -> float:
+            circuit = Circuit("cs-amp")
+            circuit.add(VoltageSource("vdd", "vdd", "0", dc=1.2))
+            circuit.add(VoltageSource("vg", "g", "0", dc=0.55, ac=1.0))
+            circuit.add(ResistorElement("rs", "g", "gi", 100e3))
+            circuit.add(ResistorElement("rd", "vdd", "d", 2e3))
+            circuit.add(MosfetElement("m1", "d", "gi", "0",
+                                      Mosfet.nmos(200e-6, 100e-9),
+                                      include_capacitance=include_cap))
+            ac = ac_sweep(circuit, np.array([freq]))
+            return float(abs(ac.voltage("d")[0]))
+
+        assert gain_at(10e9, True) < gain_at(1e6, True)
+        assert gain_at(10e9, False) == pytest.approx(gain_at(1e6, False), rel=0.01)
+
+
+class TestTransient:
+    def test_rc_step_response_time_constant(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        circuit = Circuit("rc-step")
+        circuit.add(VoltageSource("vin", "in", "0", dc=0.0,
+                                  waveform=lambda t: 1.0))
+        circuit.add(ResistorElement("r1", "in", "out", r))
+        circuit.add(CapacitorElement("c1", "out", "0", c))
+        result = transient(circuit, stop_time=5 * tau, timestep=tau / 200.0)
+        v_out = result.voltage("out")
+        # After one time constant the output should be ~63 % of the step.
+        index = int(round(tau / result.timestep))
+        assert v_out[index] == pytest.approx(1.0 - math.exp(-1.0), abs=0.03)
+        assert v_out[-1] == pytest.approx(1.0, abs=0.02)
+
+    def test_sine_through_resistor_is_undistorted(self):
+        circuit = Circuit("sine")
+        amplitude, frequency = 0.5, 1e6
+        circuit.add(VoltageSource(
+            "vin", "in", "0", dc=0.0,
+            waveform=lambda t: amplitude * math.sin(2 * math.pi * frequency * t)))
+        circuit.add(ResistorElement("r1", "in", "out", 1e3))
+        circuit.add(ResistorElement("r2", "out", "0", 1e3))
+        result = transient(circuit, stop_time=2e-6, timestep=1e-9)
+        assert np.max(result.voltage("out")) == pytest.approx(amplitude / 2, rel=0.01)
+
+    def test_rejects_bad_time_parameters(self):
+        circuit = resistor_divider()
+        with pytest.raises(ValueError):
+            transient(circuit, stop_time=0.0, timestep=1e-9)
+        with pytest.raises(ValueError):
+            transient(circuit, stop_time=1e-9, timestep=1e-6)
+
+
+class TestTwoPort:
+    def test_driving_point_impedance_of_divider(self):
+        circuit = Circuit("r-only")
+        circuit.add(ResistorElement("r1", "port", "0", 75.0))
+        z = impedance_at_port(circuit, "port", "0", np.array([1e6, 1e9]))
+        np.testing.assert_allclose(np.abs(z), [75.0, 75.0], rtol=1e-6)
+
+    def test_two_port_z_parameters_of_tee(self):
+        # Symmetric resistive tee: Z11 = Z22 = Ra + Rc, Z12 = Z21 = Rc.
+        ra, rc = 100.0, 50.0
+        circuit = Circuit("tee")
+        circuit.add(ResistorElement("ra", "p1", "mid", ra))
+        circuit.add(ResistorElement("rb", "mid", "p2", ra))
+        circuit.add(ResistorElement("rc", "mid", "0", rc))
+        result = two_port_from_circuit(circuit, ("p1", "0"), ("p2", "0"),
+                                       np.array([1e6]))
+        assert abs(result.z11[0]) == pytest.approx(ra + rc, rel=1e-6)
+        assert abs(result.z21[0]) == pytest.approx(rc, rel=1e-6)
+        s11, s12, s21, s22 = result.s_parameters()
+        assert abs(s21[0]) <= 1.0

@@ -1,0 +1,251 @@
+"""Tests for the mixer's building blocks: switches, TCA, quad, TIA, load, power."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.core.load import TransmissionGateLoad
+from repro.core.power import PowerBudget
+from repro.core.switches import NmosSwitch, PmosSwitch, SwitchState, TransmissionGate
+from repro.core.switching_quad import LoDrive, SwitchingQuad
+from repro.core.tia import TransimpedanceAmplifier, TwoStageOTA
+from repro.core.transconductance import TransconductanceAmplifier
+from repro.rf.signal import sample_times, sine_wave
+from repro.rf.spectrum import Spectrum
+
+
+class TestSwitches:
+    def test_nmos_switch_control_sense(self, design):
+        switch = NmosSwitch(width=10e-6, length=65e-9, technology=design.technology)
+        assert switch.state(control_high=True) is SwitchState.ON
+        assert switch.state(control_high=False) is SwitchState.OFF
+        assert math.isfinite(switch.on_resistance())
+        assert math.isinf(switch.resistance(control_high=False))
+
+    def test_pmos_switch_control_sense(self, design):
+        switch = PmosSwitch(width=20e-6, length=65e-9, technology=design.technology)
+        # PMOS conducts when its control (gate) is low: passive mode, Vlogic=0.
+        assert switch.state(control_high=False) is SwitchState.ON
+        assert switch.state(control_high=True) is SwitchState.OFF
+
+    def test_pmos_sized_for_degeneration_hits_target(self, design):
+        switch = PmosSwitch.sized_for_degeneration(50.0,
+                                                   technology=design.technology)
+        assert switch.on_resistance() == pytest.approx(50.0, rel=0.25)
+
+    def test_transmission_gate_resistance_flatness(self, design):
+        tg = TransmissionGate.sized_for_load(3.3e3, technology=design.technology)
+        # A TG stays usable across the signal range; a single NMOS of similar
+        # mid-rail resistance blows up towards the top rail.
+        assert tg.resistance_flatness() < 3.5
+        mid = tg.on_resistance()
+        assert tg.on_resistance(0.15) < 10.0 * mid
+        assert tg.on_resistance(1.05) < 10.0 * mid
+
+    def test_transmission_gate_sizing_hits_target(self, design):
+        tg = TransmissionGate.sized_for_load(3.3e3, technology=design.technology)
+        assert tg.on_resistance() == pytest.approx(3.3e3, rel=0.3)
+
+    def test_transmission_gate_off_state(self, design):
+        tg = TransmissionGate.sized_for_load(3.3e3, technology=design.technology)
+        assert tg.state(False) is SwitchState.OFF
+        assert math.isinf(tg.resistance(False))
+
+    def test_rejects_bad_dimensions(self, design):
+        with pytest.raises(ValueError):
+            TransmissionGate(nmos_width=0.0, pmos_width=1e-6, length=65e-9)
+
+
+class TestTransconductanceAmplifier:
+    def test_sizing_hits_target_gm(self, design):
+        tca = TransconductanceAmplifier(design)
+        assert tca.raw_gm == pytest.approx(design.tca_gm, rel=0.02)
+
+    def test_bias_point_is_in_saturation_at_design_current(self, design):
+        tca = TransconductanceAmplifier(design)
+        point = tca.bias_point
+        assert point.id == pytest.approx(design.tca_bias_current / 2.0, rel=1e-3)
+        assert point.vov > 0.05
+
+    def test_degeneration_reduces_effective_gm(self, design):
+        plain = TransconductanceAmplifier(design)
+        degenerated = TransconductanceAmplifier(design, degeneration_resistance=50.0)
+        expected = plain.raw_gm / (1.0 + plain.raw_gm * 50.0)
+        assert degenerated.effective_gm == pytest.approx(expected, rel=0.01)
+        assert degenerated.effective_gm < plain.effective_gm
+
+    def test_gain_tuning_through_bias_voltage(self, design):
+        tca = TransconductanceAmplifier(design)
+        nominal = tca.bias_point.vgs
+        assert tca.gm_for_bias_voltage(nominal + 0.1) > tca.gm_for_bias_voltage(nominal)
+        assert tca.gm_for_bias_voltage(0.1) == 0.0
+
+    def test_taylor_coefficients_signs(self, design):
+        coefficients = TransconductanceAmplifier(design).taylor_coefficients()
+        assert coefficients.g1 > 0.0          # transconductance
+        assert coefficients.g2 > 0.0          # square-law curvature
+        assert coefficients.g3 < 0.0          # compressive (mobility degradation)
+        assert coefficients.iip3_dbm() > 0.0  # a bare gm stage is quite linear
+
+    def test_iip3_finite_and_reasonable(self, design):
+        iip3 = TransconductanceAmplifier(design).iip3_dbm()
+        assert 0.0 < iip3 < 25.0
+
+    def test_noise_sources_and_flicker_corner(self, design):
+        tca = TransconductanceAmplifier(design)
+        thermal, flicker = tca.input_noise_sources()
+        assert thermal.voltage_psd(1e6) > 0.0
+        assert flicker.voltage_psd(1e3) > flicker.voltage_psd(1e6)
+        assert tca.flicker_corner() > 0.0
+
+    def test_band_response_shape(self, design):
+        tca = TransconductanceAmplifier(design)
+        coupling = design.coupling_capacitance_active
+        node_r = design.band_node_resistance_active
+        low, high = tca.band_edges(coupling, node_r)
+        assert low < high
+        mid = math.sqrt(low * high)
+        assert tca.band_response(mid, coupling, node_r) > 0.85
+        assert tca.band_response(low / 10.0, coupling, node_r) < 0.2
+        assert tca.band_response(high * 4.0, coupling, node_r) < 0.2
+
+    def test_rejects_negative_degeneration(self, design):
+        with pytest.raises(ValueError):
+            TransconductanceAmplifier(design, degeneration_resistance=-1.0)
+
+
+class TestSwitchingQuad:
+    def test_conversion_factor_is_two_over_pi(self, design):
+        quad = SwitchingQuad(design)
+        assert quad.conversion_factor == pytest.approx(2.0 / math.pi)
+        assert quad.conversion_loss_db() == pytest.approx(3.92, abs=0.05)
+
+    def test_switch_on_resistance_reasonable(self, design):
+        quad = SwitchingQuad(design)
+        assert 5.0 < quad.switch_on_resistance < 200.0
+
+    def test_commutation_produces_if_and_image(self, design):
+        fs, n = 10.24e9, 10240
+        quad = SwitchingQuad(design, LoDrive(frequency=2.4e9))
+        times = sample_times(fs, n)
+        rf = sine_wave(2.405e9, 0.1, times)
+        spectrum = Spectrum(quad.commutate(rf, times), fs)
+        if_power = spectrum.power_dbm_at(5e6)
+        rf_feedthrough = spectrum.power_dbm_at(2.405e9)
+        # IF tone at 2/pi of the input amplitude; dBm(vpeak) = 20log10(v) + 10
+        # in a 50 ohm reference.
+        expected_if = 20.0 * math.log10(0.1 * 2.0 / math.pi) + 10.0
+        assert if_power == pytest.approx(expected_if, abs=0.2)
+        assert if_power > rf_feedthrough + 30.0
+
+    def test_commutation_rejects_too_low_sample_rate(self, design):
+        quad = SwitchingQuad(design, LoDrive(frequency=2.4e9))
+        times = sample_times(1e9, 1024)  # Nyquist below the LO
+        with pytest.raises(ValueError):
+            quad.commutate(np.zeros_like(times), times)
+
+    def test_mode_dependent_noise_and_flicker(self, design):
+        quad = SwitchingQuad(design)
+        assert quad.noise_excess_factor(MixerMode.ACTIVE) > \
+            quad.noise_excess_factor(MixerMode.PASSIVE)
+        assert quad.flicker_corner(MixerMode.PASSIVE) < 100e3
+        assert quad.flicker_corner(MixerMode.ACTIVE) > \
+            quad.flicker_corner(MixerMode.PASSIVE)
+
+    def test_mode_dependent_linearity(self, design):
+        quad = SwitchingQuad(design)
+        assert math.isinf(quad.iip3_dbm(MixerMode.ACTIVE))
+        assert math.isfinite(quad.iip3_dbm(MixerMode.PASSIVE))
+
+
+class TestTIA:
+    def test_ota_open_loop_gain_rolloff(self, design):
+        ota = TwoStageOTA.from_design(design)
+        assert ota.open_loop_gain_db(1e3) == pytest.approx(design.ota_dc_gain_db,
+                                                           abs=0.1)
+        assert abs(ota.open_loop_gain(ota.gain_bandwidth)) == pytest.approx(1.0,
+                                                                            rel=0.05)
+        assert ota.phase_margin_degrees() == pytest.approx(90.0)
+        assert ota.phase_margin_degrees(load_pole=ota.gain_bandwidth) == \
+            pytest.approx(45.0)
+
+    def test_equation_4_input_impedance(self, design):
+        tia = TransimpedanceAmplifier(design)
+        r_f, c_f = design.feedback_resistance, design.feedback_capacitance
+        frequency = 1e6
+        a = abs(tia.ota.open_loop_gain(frequency))
+        expected = abs((2.0 / a) * r_f /
+                       (1.0 + 1j * 2.0 * math.pi * frequency * r_f * c_f))
+        assert abs(tia.input_impedance(frequency)) == pytest.approx(expected,
+                                                                    rel=1e-9)
+        # Virtual ground: far below R_F.
+        assert abs(tia.input_impedance(1e6)) < r_f / 50.0
+
+    def test_transimpedance_close_to_feedback_impedance(self, design):
+        tia = TransimpedanceAmplifier(design)
+        assert abs(tia.transimpedance(1e6)) == pytest.approx(
+            abs(tia.feedback_impedance(1e6)), rel=0.05)
+
+    def test_if_bandwidth_from_rfcf(self, design):
+        tia = TransimpedanceAmplifier(design)
+        expected = 1.0 / (2.0 * math.pi * design.feedback_resistance
+                          * design.feedback_capacitance)
+        assert tia.if_bandwidth == pytest.approx(expected)
+
+    def test_tia_enabled_only_in_passive_mode(self, design):
+        tia = TransimpedanceAmplifier(design)
+        assert tia.enabled_in_mode(MixerMode.PASSIVE)
+        assert not tia.enabled_in_mode(MixerMode.ACTIVE)
+        assert tia.power_mw == pytest.approx(3.3 * 1.2, rel=1e-6)
+
+    def test_gain_tuning_range(self, design):
+        tia = TransimpedanceAmplifier(design)
+        assert tia.gain_tuning_range_db(0.5, 2.0) == pytest.approx(12.04, abs=0.1)
+
+    def test_output_noise_positive(self, design):
+        assert TransimpedanceAmplifier(design).output_noise_density(1e6) > 0.0
+
+
+class TestLoadAndPower:
+    def test_load_bandwidth_and_impedance(self, design):
+        load = TransmissionGateLoad(design)
+        expected_bw = 1.0 / (2.0 * math.pi * design.load_resistance
+                             * design.load_capacitance)
+        assert load.if_bandwidth == pytest.approx(expected_bw)
+        assert abs(load.impedance(0.0)) == pytest.approx(design.load_resistance)
+        assert abs(load.impedance(10 * expected_bw)) < design.load_resistance / 5.0
+
+    def test_realised_transmission_gate_close_to_design_value(self, design):
+        load = TransmissionGateLoad(design)
+        assert load.realised_resistance == pytest.approx(design.load_resistance,
+                                                         rel=0.3)
+
+    def test_gain_step(self, design):
+        load = TransmissionGateLoad(design)
+        assert load.gain_step_db(2.0) == pytest.approx(6.02, abs=0.01)
+
+    def test_output_intercept_scales_with_supply(self, design):
+        load = TransmissionGateLoad(design)
+        assert load.output_intercept_vpeak() == pytest.approx(
+            design.active_output_ip3_factor * design.vdd)
+
+    def test_power_budget_matches_paper(self, design):
+        budget = PowerBudget(design)
+        assert budget.total_mw(MixerMode.ACTIVE) == pytest.approx(9.36, abs=0.01)
+        assert budget.total_mw(MixerMode.PASSIVE) == pytest.approx(9.24, abs=0.01)
+        assert budget.tia_power_mw() == pytest.approx(3.96, abs=0.01)
+        assert budget.saving_when_active_mw() == pytest.approx(3.96, abs=0.01)
+
+    def test_power_breakdown_branches(self, design):
+        budget = PowerBudget(design)
+        active = budget.breakdown(MixerMode.ACTIVE)
+        passive = budget.breakdown(MixerMode.PASSIVE)
+        assert active.tia_a == 0.0
+        assert passive.gilbert_core_a == 0.0
+        assert active.total_current_a == pytest.approx(7.8e-3, rel=1e-6)
+        assert passive.total_current_a == pytest.approx(7.7e-3, rel=1e-6)
+        assert len(active.as_rows()) == 4

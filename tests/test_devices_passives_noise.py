@@ -1,0 +1,144 @@
+"""Unit tests for passive components and noise sources."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.devices.noise import (
+    CompositeNoise,
+    FlickerNoise,
+    ShotNoise,
+    ThermalNoise,
+)
+from repro.devices.passives import Capacitor, Inductor, Resistor, feedback_impedance
+
+
+class TestResistor:
+    def test_impedance_is_real_and_flat(self):
+        r = Resistor(1e3)
+        assert r.impedance(1e3) == r.impedance(1e9) == 1e3 + 0j
+
+    def test_noise_density_matches_4ktr(self):
+        r = Resistor(50.0)
+        assert r.noise_voltage_density() == pytest.approx(0.91e-9, rel=0.02)
+
+    def test_zero_resistance_has_no_voltage_noise(self):
+        assert Resistor(0.0).noise_voltage_density() == 0.0
+        assert Resistor(0.0).noise_current_density() == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Resistor(-1.0)
+
+
+class TestCapacitor:
+    def test_impedance_magnitude_halves_per_octave(self):
+        c = Capacitor(1e-12)
+        z1 = abs(c.impedance(1e9))
+        z2 = abs(c.impedance(2e9))
+        assert z1 / z2 == pytest.approx(2.0)
+
+    def test_dc_is_open(self):
+        assert math.isinf(Capacitor(1e-12).impedance(0.0).real)
+
+    def test_pole_frequency(self):
+        c = Capacitor(2.3e-12)
+        assert c.pole_frequency(3.7e3) == pytest.approx(
+            1.0 / (2.0 * math.pi * 3.7e3 * 2.3e-12))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Capacitor(0.0)
+
+
+class TestInductor:
+    def test_impedance_grows_with_frequency(self):
+        ind = Inductor(1e-9)
+        assert abs(ind.impedance(2e9)) > abs(ind.impedance(1e9))
+
+    def test_quality_factor(self):
+        lossless = Inductor(1e-9)
+        lossy = Inductor(1e-9, series_resistance=2.0)
+        assert math.isinf(lossless.quality_factor(1e9))
+        assert lossy.quality_factor(1e9) == pytest.approx(
+            2.0 * math.pi * 1e9 * 1e-9 / 2.0)
+
+    def test_resonance(self):
+        ind = Inductor(1e-9)
+        f0 = ind.resonance_with(1e-12)
+        assert f0 == pytest.approx(1.0 / (2.0 * math.pi * math.sqrt(1e-21)))
+
+
+class TestFeedbackImpedance:
+    def test_reduces_to_resistance_at_dc(self):
+        assert feedback_impedance(3.7e3, 2.3e-12, 0.0) == pytest.approx(3.7e3)
+
+    def test_minus_3db_at_pole(self):
+        r, c = 3.7e3, 2.3e-12
+        pole = 1.0 / (2.0 * math.pi * r * c)
+        assert abs(feedback_impedance(r, c, pole)) == pytest.approx(
+            r / math.sqrt(2.0), rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            feedback_impedance(0.0, 1e-12, 1e6)
+
+
+class TestNoiseSources:
+    def test_thermal_noise_is_white(self):
+        source = ThermalNoise(resistance=1e3)
+        assert source.voltage_psd(1e3) == pytest.approx(source.voltage_psd(1e9))
+
+    def test_thermal_from_gm(self):
+        source = ThermalNoise.from_gm(gm=15e-3, gamma=1.1)
+        assert source.resistance == pytest.approx(1.1 / 15e-3)
+
+    def test_flicker_noise_slope(self):
+        source = FlickerNoise(k_flicker=1e-12)
+        assert source.voltage_psd(1e3) / source.voltage_psd(1e4) == pytest.approx(10.0)
+
+    def test_flicker_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            FlickerNoise(1e-12).voltage_psd(0.0)
+
+    def test_flicker_corner_with_thermal(self):
+        thermal = ThermalNoise(resistance=1e3)
+        flicker = FlickerNoise(k_flicker=float(thermal.voltage_psd(1.0)) * 1e5)
+        assert flicker.corner_with(thermal) == pytest.approx(1e5)
+
+    def test_shot_noise_scales_with_current(self):
+        low = ShotNoise(dc_current=1e-3, transresistance=1e3)
+        high = ShotNoise(dc_current=4e-3, transresistance=1e3)
+        assert high.voltage_psd(1e6) == pytest.approx(4.0 * low.voltage_psd(1e6))
+
+    def test_composite_adds_psds(self):
+        a = ThermalNoise(resistance=1e3)
+        b = ThermalNoise(resistance=3e3)
+        composite = CompositeNoise([a, b])
+        assert composite.voltage_psd(1e6) == pytest.approx(
+            a.voltage_psd(1e6) + b.voltage_psd(1e6))
+
+    def test_composite_empty_is_silent(self):
+        assert CompositeNoise().voltage_psd(1e6) == 0.0
+
+    def test_composite_flicker_corner_detection(self):
+        thermal = ThermalNoise(resistance=1e3)
+        flicker = FlickerNoise(k_flicker=float(thermal.voltage_psd(1.0)) * 5e4)
+        composite = CompositeNoise([thermal, flicker])
+        corner = composite.flicker_corner()
+        assert 1e4 < corner < 3e5
+
+    def test_integrated_rms_grows_with_bandwidth(self):
+        source = ThermalNoise(resistance=1e3)
+        narrow = source.integrated_rms(1e3, 1e5)
+        wide = source.integrated_rms(1e3, 1e7)
+        assert wide > narrow
+
+    def test_integrated_rms_of_white_source_scales_with_sqrt_bandwidth(self):
+        source = ThermalNoise(resistance=1e3)
+        rms = source.integrated_rms(1.0, 1e6 + 1.0)
+        expected = math.sqrt(float(source.voltage_psd(1.0)) * 1e6)
+        assert rms == pytest.approx(expected, rel=0.01)

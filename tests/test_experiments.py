@@ -1,0 +1,122 @@
+"""Integration tests: every experiment driver runs and reproduces the paper's shape.
+
+The heavy waveform experiments (Fig. 10, IIP2) are run here with reduced
+sweeps so the test suite stays fast; the full-resolution versions live in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MixerMode
+from repro.experiments import (
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_iip2,
+    run_power_budget,
+    run_table1,
+    run_tia_response,
+)
+from repro.experiments.fig8_gain_vs_rf import format_report as fig8_report
+from repro.experiments.fig9_nf_vs_if import format_report as fig9_report
+from repro.experiments.fig10_iip3 import format_report as fig10_report
+from repro.experiments.iip2 import format_report as iip2_report
+from repro.experiments.power_budget import format_report as power_report
+from repro.experiments.table1_comparison import format_report as table1_report
+from repro.experiments.tia_response import format_report as tia_report
+
+
+class TestFig8:
+    def test_shape_and_report(self, design):
+        result = run_fig8(design, points=80)
+        assert result.peak_gain_db(MixerMode.ACTIVE) > \
+            result.peak_gain_db(MixerMode.PASSIVE)
+        low, high = result.band_edges_hz(MixerMode.ACTIVE)
+        assert 0.5e9 < low < 1.5e9
+        assert 4.0e9 < high < 7.0e9
+        report = fig8_report(result)
+        assert "Fig. 8" in report and "active" in report
+
+    def test_rejects_tiny_sweeps(self, design):
+        with pytest.raises(ValueError):
+            run_fig8(design, points=3)
+
+
+class TestFig9:
+    def test_shape_and_report(self, design):
+        result = run_fig9(design, points=80)
+        assert result.value_at(MixerMode.ACTIVE, "nf", 5e6) < \
+            result.value_at(MixerMode.PASSIVE, "nf", 5e6)
+        assert result.flicker_corner_hz(MixerMode.PASSIVE) < 100e3
+        report = fig9_report(result)
+        assert "flicker corner" in report
+
+    def test_gain_series_tracks_if_rolloff(self, design):
+        result = run_fig9(design, points=80)
+        assert result.value_at(MixerMode.PASSIVE, "gain", 1e5) > \
+            result.value_at(MixerMode.PASSIVE, "gain", 9e7)
+
+
+class TestFig10AndIip2:
+    @pytest.fixture(scope="class")
+    def fig10(self, design):
+        powers = np.arange(-45.0, -27.0, 4.0)
+        return run_fig10(design, input_powers_dbm=powers)
+
+    def test_intercepts_reproduce_paper_shape(self, fig10):
+        assert fig10.passive.iip3_dbm > fig10.active.iip3_dbm + 10.0
+        assert fig10.passive.iip3_dbm == pytest.approx(6.57, abs=3.0)
+        assert fig10.active.iip3_dbm == pytest.approx(-11.9, abs=3.0)
+        assert "IIP3" in fig10_report(fig10)
+
+    def test_for_mode_accessor(self, fig10):
+        assert fig10.for_mode(MixerMode.ACTIVE) is fig10.active
+        assert fig10.for_mode(MixerMode.PASSIVE) is fig10.passive
+
+    def test_rejects_short_power_sweeps(self, design):
+        with pytest.raises(ValueError):
+            run_fig10(design, input_powers_dbm=np.array([-40.0, -30.0]))
+
+    def test_iip2_above_floor(self, design):
+        result = run_iip2(design,
+                          input_powers_dbm=np.arange(-45.0, -33.0, 4.0))
+        assert result.both_meet_paper_floor
+        assert "PASS" in iip2_report(result)
+
+
+class TestTable1:
+    def test_full_table_and_deviations(self, design):
+        result = run_table1(design)
+        assert len(result.columns) == 10
+        deviations = result.deviations_from_paper()
+        assert abs(deviations["active"]["gain_db"]) < 1.0
+        assert abs(deviations["passive"]["nf_db"]) < 1.0
+        assert result.column("[5]")["gain_db"] == pytest.approx(21.0)
+        with pytest.raises(KeyError):
+            result.column("nonexistent")
+        report = table1_report(result)
+        assert "Table I" in report and "This work (active)" in report
+
+    def test_comparative_claims(self, design):
+        result = run_table1(design)
+        assert result.highest_gain_design() == "[4]"
+        assert result.best_iip3_design() not in ("This work (active)",)
+
+
+class TestPowerAndTia:
+    def test_power_budget(self, design):
+        result = run_power_budget(design)
+        assert result.active_total_mw == pytest.approx(9.36, abs=0.01)
+        assert result.passive_total_mw == pytest.approx(9.24, abs=0.01)
+        deltas = result.delta_vs_paper_mw()
+        assert abs(deltas["active"]) < 0.05
+        assert "TIA" in power_report(result)
+
+    def test_tia_response_agreement(self, design):
+        result = run_tia_response(design, points=25)
+        assert result.worst_relative_error < 0.10
+        assert result.zin_at(1e5) < design.feedback_resistance / 100.0
+        assert "Equation (4)" in tia_report(result)

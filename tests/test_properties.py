@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on the core substrates and invariants."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.circuit import (
+    Circuit,
+    CurrentSource,
+    ResistorElement,
+    VoltageSource,
+    dc_operating_point,
+)
+from repro.devices.mosfet import Mosfet
+from repro.rf.blocks import BehavioralBlock, cascade
+from repro.rf.filters import FirstOrderLowPass
+from repro.rf.noise_figure import (
+    friis_cascade_nf,
+    nf_with_flicker,
+    noise_factor_from_figure,
+)
+from repro.rf.twotone import fit_intercept_point
+
+# Keep hypothesis deadlines generous: some examples solve small circuits.
+COMMON_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestUnitProperties:
+    @COMMON_SETTINGS
+    @given(st.floats(min_value=-80.0, max_value=40.0))
+    def test_dbm_vpeak_round_trip(self, dbm):
+        assert float(units.dbm_from_vpeak(units.vpeak_from_dbm(dbm))) == \
+            pytest.approx(dbm, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(st.floats(min_value=1e-3, max_value=1e6),
+           st.floats(min_value=1e-3, max_value=1e6))
+    def test_parallel_is_smaller_than_either_and_commutative(self, a, b):
+        p = units.parallel(a, b)
+        assert p <= min(a, b) + 1e-12
+        assert p == pytest.approx(units.parallel(b, a))
+
+    @COMMON_SETTINGS
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_db_round_trip(self, db):
+        assert float(units.db_from_power_ratio(units.power_ratio_from_db(db))) == \
+            pytest.approx(db, abs=1e-9)
+
+
+class TestDeviceProperties:
+    @COMMON_SETTINGS
+    @given(vgs=st.floats(min_value=0.36, max_value=1.2),
+           vds=st.floats(min_value=0.0, max_value=1.2))
+    def test_current_and_gm_are_nonnegative(self, vgs, vds):
+        device = Mosfet.nmos(20e-6, 100e-9)
+        op = device.operating_point(vgs, vds)
+        assert op.id >= 0.0
+        assert op.gm >= 0.0
+        assert op.gds >= 0.0
+
+    @COMMON_SETTINGS
+    @given(vds=st.floats(min_value=0.3, max_value=1.2),
+           step=st.floats(min_value=0.01, max_value=0.3))
+    def test_current_monotone_in_vgs(self, vds, step):
+        device = Mosfet.nmos(20e-6, 100e-9)
+        base = 0.4
+        assert device.drain_current(base + step, vds) >= \
+            device.drain_current(base, vds)
+
+    @COMMON_SETTINGS
+    @given(target=st.floats(min_value=1e-5, max_value=3e-3))
+    def test_bias_solver_round_trip(self, target):
+        device = Mosfet.nmos(40e-6, 100e-9)
+        vgs = device.vgs_for_current(target, vds=0.6)
+        assert device.drain_current(vgs, 0.6) == pytest.approx(target, rel=1e-3)
+
+
+class TestCircuitProperties:
+    @COMMON_SETTINGS
+    @given(r1=st.floats(min_value=10.0, max_value=1e6),
+           r2=st.floats(min_value=10.0, max_value=1e6),
+           vin=st.floats(min_value=-5.0, max_value=5.0))
+    def test_mna_solves_arbitrary_divider(self, r1, r2, vin):
+        circuit = Circuit("divider")
+        circuit.add(VoltageSource("v1", "in", "0", dc=vin))
+        circuit.add(ResistorElement("r1", "in", "out", r1))
+        circuit.add(ResistorElement("r2", "out", "0", r2))
+        solution = dc_operating_point(circuit)
+        assert solution.voltage("out") == pytest.approx(vin * r2 / (r1 + r2),
+                                                        rel=1e-6, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(current=st.floats(min_value=1e-6, max_value=1e-2),
+           resistance=st.floats(min_value=10.0, max_value=1e5))
+    def test_superposition_of_current_sources(self, current, resistance):
+        def solve(i_a: float, i_b: float) -> float:
+            circuit = Circuit("superposition")
+            circuit.add(CurrentSource("ia", "0", "n", dc=i_a))
+            circuit.add(CurrentSource("ib", "0", "n", dc=i_b))
+            circuit.add(ResistorElement("r", "n", "0", resistance))
+            return dc_operating_point(circuit).voltage("n")
+
+        combined = solve(current, 2.0 * current)
+        separate = solve(current, 0.0) + solve(0.0, 2.0 * current)
+        assert combined == pytest.approx(separate, rel=1e-9, abs=1e-12)
+
+
+class TestRFProperties:
+    @COMMON_SETTINGS
+    @given(nf=st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1,
+                       max_size=5),
+           gain=st.lists(st.floats(min_value=-5.0, max_value=30.0), min_size=1,
+                         max_size=5))
+    def test_friis_cascade_nf_at_least_first_stage_floor(self, nf, gain):
+        n = min(len(nf), len(gain))
+        nf, gain = nf[:n], gain[:n]
+        total = friis_cascade_nf(nf, gain)
+        # A cascade can never be quieter than its first stage.
+        assert total >= nf[0] - 1e-9
+        # And the corresponding factor is physical.
+        assert noise_factor_from_figure(total) >= 1.0
+
+    @COMMON_SETTINGS
+    @given(white=st.floats(min_value=1.0, max_value=15.0),
+           corner=st.floats(min_value=1e3, max_value=1e6),
+           frequency=st.floats(min_value=1e3, max_value=1e8))
+    def test_flicker_nf_never_below_white_floor(self, white, corner, frequency):
+        assert nf_with_flicker(white, corner, frequency) >= white - 1e-9
+
+    @COMMON_SETTINGS
+    @given(gains=st.lists(st.floats(min_value=-10.0, max_value=25.0), min_size=1,
+                          max_size=4))
+    def test_cascade_gain_is_associative(self, gains):
+        blocks = [BehavioralBlock(f"b{i}", gain_db=g, nf_db=3.0)
+                  for i, g in enumerate(gains)]
+        total = cascade(blocks)
+        assert total.gain_db == pytest.approx(sum(gains), abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(gain=st.floats(min_value=0.0, max_value=30.0),
+           iip3=st.floats(min_value=-20.0, max_value=20.0),
+           offset=st.floats(min_value=5.0, max_value=30.0))
+    def test_intercept_fit_recovers_synthetic_lines(self, gain, iip3, offset):
+        p_in = np.linspace(iip3 - offset - 20.0, iip3 - offset, 12)
+        fundamental = p_in + gain
+        im3 = 3.0 * p_in + gain - 2.0 * iip3
+        fit = fit_intercept_point(p_in, fundamental, im3)
+        assert fit.intercept_input_dbm == pytest.approx(iip3, abs=0.05)
+
+    @COMMON_SETTINGS
+    @given(pole=st.floats(min_value=1e3, max_value=1e9),
+           frequency=st.floats(min_value=1.0, max_value=1e10))
+    def test_lowpass_magnitude_bounded_and_monotone(self, pole, frequency):
+        lp = FirstOrderLowPass(dc_gain=1.0, pole_frequency=pole)
+        magnitude = lp.magnitude(frequency)
+        assert 0.0 < magnitude <= 1.0
+        assert lp.magnitude(frequency * 2.0) <= magnitude + 1e-12
+
+
+class TestMixerProperties:
+    @COMMON_SETTINGS
+    @given(scale=st.floats(min_value=0.25, max_value=4.0))
+    def test_gain_setting_moves_gain_by_expected_db(self, scale, design):
+        from repro.core.config import MixerMode
+        from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+        base = ReconfigurableMixer(design, MixerMode.ACTIVE).peak_conversion_gain_db()
+        scaled = ReconfigurableMixer(design.with_gain_setting(scale),
+                                     MixerMode.ACTIVE).peak_conversion_gain_db()
+        assert scaled - base == pytest.approx(20.0 * math.log10(scale), abs=1e-6)
+
+    @COMMON_SETTINGS
+    @given(if_frequency=st.floats(min_value=1e4, max_value=5e7))
+    def test_noise_figure_monotone_decreasing_with_if(self, if_frequency, design):
+        from repro.core.config import MixerMode
+        from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+        mixer = ReconfigurableMixer(design, MixerMode.PASSIVE)
+        assert mixer.noise_figure_db(if_frequency) >= \
+            mixer.noise_figure_db(if_frequency * 2.0) - 1e-9

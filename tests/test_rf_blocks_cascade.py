@@ -1,0 +1,129 @@
+"""Tests for behavioural RF blocks and the cascade formulas."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rf.blocks import BehavioralBlock, cascade
+from repro.rf.noise_figure import friis_cascade_nf
+from repro.rf.signal import sample_times, sine_wave
+from repro.rf.spectrum import Spectrum
+from repro.units import vpeak_from_dbm
+
+
+class TestBehavioralBlock:
+    def test_linear_gain_from_db(self):
+        block = BehavioralBlock("amp", gain_db=20.0)
+        assert block.linear_gain == pytest.approx(10.0)
+        assert block.a1 == pytest.approx(10.0)
+
+    def test_a3_sign_is_compressive(self):
+        block = BehavioralBlock("amp", gain_db=10.0, iip3_dbm=0.0)
+        assert block.a3 < 0.0
+
+    def test_a3_zero_for_linear_block(self):
+        assert BehavioralBlock("lin", gain_db=10.0).a3 == 0.0
+        assert BehavioralBlock("lin", gain_db=10.0, iip3_dbm=math.inf).a3 == 0.0
+
+    def test_transfer_small_signal_matches_gain(self):
+        block = BehavioralBlock("amp", gain_db=20.0, iip3_dbm=10.0)
+        wave = np.array([1e-4, -1e-4])
+        np.testing.assert_allclose(block.transfer(wave), 10.0 * wave, rtol=1e-4)
+
+    def test_transfer_respects_swing_limit(self):
+        block = BehavioralBlock("amp", gain_db=20.0, output_swing_limit=1.0)
+        out = block.transfer(np.array([10.0, -10.0]))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_iip3_recovered_from_two_tone_on_transfer(self):
+        iip3 = -5.0
+        block = BehavioralBlock("amp", gain_db=15.0, iip3_dbm=iip3)
+        fs, n = 1.024e9, 8192
+        bin_width = fs / n
+        f1, f2 = 1000 * bin_width, 1010 * bin_width
+        amplitude = float(vpeak_from_dbm(-40.0))
+        times = sample_times(fs, n)
+        wave = sine_wave(f1, amplitude, times) + sine_wave(f2, amplitude, times)
+        spectrum = Spectrum(block.transfer(wave), fs)
+        p_fund = spectrum.power_dbm_at(f1)
+        p_im3 = spectrum.power_dbm_at(2 * f1 - f2)
+        measured_iip3 = -40.0 + 0.5 * (p_fund - p_im3)
+        assert measured_iip3 == pytest.approx(iip3, abs=0.3)
+
+    def test_oip3_is_iip3_plus_gain(self):
+        block = BehavioralBlock("amp", gain_db=12.0, iip3_dbm=-3.0)
+        assert block.oip3_dbm == pytest.approx(9.0)
+
+    def test_p1db_estimate_below_iip3(self):
+        block = BehavioralBlock("amp", gain_db=12.0, iip3_dbm=0.0)
+        assert block.input_p1db_estimate_dbm() == pytest.approx(-9.6)
+
+    def test_p1db_estimate_uses_swing_when_tighter(self):
+        block = BehavioralBlock("amp", gain_db=30.0, iip3_dbm=20.0,
+                                output_swing_limit=1.0)
+        estimate = block.input_p1db_estimate_dbm()
+        assert estimate is not None
+        assert estimate < 20.0 - 9.6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BehavioralBlock("bad", gain_db=10.0, nf_db=-1.0)
+        with pytest.raises(ValueError):
+            BehavioralBlock("bad", gain_db=10.0, output_swing_limit=0.0)
+
+    def test_scaled_gain(self):
+        block = BehavioralBlock("amp", gain_db=10.0)
+        assert block.scaled_gain(+5.0).gain_db == pytest.approx(15.0)
+
+
+class TestCascade:
+    def test_gain_adds_in_db(self):
+        chain = [BehavioralBlock("a", 10.0), BehavioralBlock("b", 15.0)]
+        assert cascade(chain).gain_db == pytest.approx(25.0)
+
+    def test_friis_first_stage_dominates(self):
+        low_noise_first = cascade([
+            BehavioralBlock("lna", gain_db=20.0, nf_db=2.0),
+            BehavioralBlock("mixer", gain_db=10.0, nf_db=10.0),
+        ])
+        noisy_first = cascade([
+            BehavioralBlock("mixer", gain_db=10.0, nf_db=10.0),
+            BehavioralBlock("lna", gain_db=20.0, nf_db=2.0),
+        ])
+        assert low_noise_first.nf_db < noisy_first.nf_db
+        assert low_noise_first.nf_db == pytest.approx(2.1, abs=0.3)
+
+    def test_matches_friis_helper(self):
+        blocks = [BehavioralBlock("a", 12.0, nf_db=3.0),
+                  BehavioralBlock("b", 8.0, nf_db=9.0),
+                  BehavioralBlock("c", 20.0, nf_db=15.0)]
+        assert cascade(blocks).nf_db == pytest.approx(
+            friis_cascade_nf([3.0, 9.0, 15.0], [12.0, 8.0, 20.0]))
+
+    def test_iip3_dominated_by_late_stages(self):
+        chain = [BehavioralBlock("lna", gain_db=20.0, nf_db=2.0, iip3_dbm=10.0),
+                 BehavioralBlock("mixer", gain_db=10.0, nf_db=10.0, iip3_dbm=5.0)]
+        total = cascade(chain)
+        # Input-referred: the mixer's 5 dBm looks like -15 dBm through 20 dB
+        # of preceding gain, so the total must be close to (below) that.
+        assert total.iip3_dbm < -13.0
+        assert total.iip3_dbm <= 10.0
+
+    def test_all_linear_cascade_has_infinite_iip3(self):
+        total = cascade([BehavioralBlock("a", 10.0), BehavioralBlock("b", 5.0)])
+        assert math.isinf(total.iip3_dbm)
+
+    def test_single_block_cascade_is_identity(self):
+        block = BehavioralBlock("only", gain_db=7.0, nf_db=4.0, iip3_dbm=1.0)
+        total = cascade([block])
+        assert total.gain_db == pytest.approx(7.0)
+        assert total.nf_db == pytest.approx(4.0)
+        assert total.iip3_dbm == pytest.approx(1.0)
+        assert total.oip3_dbm == pytest.approx(8.0)
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(ValueError):
+            cascade([])

@@ -1,0 +1,161 @@
+"""Tests for RF signal sources and spectral analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rf.signal import (
+    Tone,
+    TwoToneSource,
+    coherent_sample_count,
+    differential_pair,
+    sample_times,
+    sine_wave,
+    square_lo,
+)
+from repro.rf.spectrum import Spectrum, fundamental_power_dbm, power_dbm_at
+from repro.units import dbm_from_vpeak, vpeak_from_dbm
+
+
+class TestTone:
+    def test_amplitude_matches_power(self):
+        tone = Tone(frequency=1e9, power_dbm=0.0)
+        assert tone.amplitude == pytest.approx(0.3162, abs=1e-3)
+
+    def test_waveform_peak(self):
+        tone = Tone(frequency=10e6, power_dbm=-10.0)
+        times = sample_times(1e9, 1000)
+        waveform = tone.waveform(times)
+        assert np.max(np.abs(waveform)) == pytest.approx(tone.amplitude, rel=1e-3)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Tone(frequency=0.0, power_dbm=0.0)
+
+
+class TestTwoToneSource:
+    def test_waveform_is_sum_of_tones(self):
+        source = TwoToneSource(10e6, 12e6, -10.0)
+        times = sample_times(1e9, 2048)
+        combined = source.waveform(times)
+        tone_a, tone_b = source.tones
+        np.testing.assert_allclose(combined,
+                                   tone_a.waveform(times) + tone_b.waveform(times))
+
+    def test_spacing_and_with_power(self):
+        source = TwoToneSource(2.405e9, 2.407e9, -30.0)
+        assert source.spacing == pytest.approx(2e6)
+        assert source.with_power(-20.0).power_dbm == -20.0
+
+    def test_rejects_equal_frequencies(self):
+        with pytest.raises(ValueError):
+            TwoToneSource(1e9, 1e9, -10.0)
+
+
+class TestSamplingHelpers:
+    def test_sample_times_spacing(self):
+        times = sample_times(1e9, 10)
+        assert times[1] - times[0] == pytest.approx(1e-9)
+        assert len(times) == 10
+
+    def test_coherent_sample_count_puts_tone_on_bin(self):
+        fs = 10.24e9
+        count = coherent_sample_count([2.405e9, 2.407e9], fs)
+        for frequency in (2.405e9, 2.407e9):
+            cycles = frequency * count / fs
+            assert cycles == pytest.approx(round(cycles), abs=1e-6)
+
+    def test_coherent_sample_count_respects_minimum(self):
+        count = coherent_sample_count([1e6], 1e9, minimum_samples=5000)
+        assert count >= 5000
+
+    def test_square_lo_levels(self):
+        times = sample_times(1e9, 1000)
+        lo = square_lo(50e6, times)
+        assert set(np.unique(np.sign(lo[lo != 0]))) <= {-1.0, 1.0}
+        assert np.max(lo) == pytest.approx(1.0)
+
+    def test_differential_pair_is_balanced(self):
+        wave = sine_wave(1e6, 1.0, sample_times(1e8, 256))
+        plus, minus = differential_pair(wave)
+        np.testing.assert_allclose(plus + minus, 0.0, atol=1e-15)
+        np.testing.assert_allclose(plus - minus, wave)
+
+
+class TestSpectrum:
+    def test_single_tone_power_recovered(self):
+        fs, n = 1.024e9, 4096
+        for dbm in (-40.0, -20.0, 0.0):
+            amplitude = float(vpeak_from_dbm(dbm))
+            # 250 kHz bins; put the tone exactly on a bin.
+            frequency = 100 * fs / n
+            wave = sine_wave(frequency, amplitude, sample_times(fs, n))
+            spectrum = Spectrum(wave, fs)
+            assert spectrum.power_dbm_at(frequency) == pytest.approx(dbm, abs=0.01)
+
+    def test_two_tone_powers_independent(self):
+        fs, n = 1.024e9, 4096
+        bin_width = fs / n
+        f1, f2 = 100 * bin_width, 150 * bin_width
+        wave = sine_wave(f1, 0.1, sample_times(fs, n)) + \
+            sine_wave(f2, 0.01, sample_times(fs, n))
+        spectrum = Spectrum(wave, fs)
+        assert spectrum.power_dbm_at(f1) - spectrum.power_dbm_at(f2) == \
+            pytest.approx(20.0, abs=0.1)
+
+    def test_total_power_accounts_for_all_tones(self):
+        fs, n = 1.024e9, 4096
+        bin_width = fs / n
+        wave = sine_wave(100 * bin_width, 0.1, sample_times(fs, n)) + \
+            sine_wave(200 * bin_width, 0.1, sample_times(fs, n))
+        spectrum = Spectrum(wave, fs)
+        single = float(dbm_from_vpeak(0.1))
+        assert spectrum.total_power_dbm() == pytest.approx(single + 3.0, abs=0.1)
+
+    def test_hann_window_reduces_leakage(self):
+        fs, n = 1.024e9, 4096
+        frequency = 100.5 * fs / n  # deliberately off-bin
+        wave = sine_wave(frequency, 0.1, sample_times(fs, n))
+        rect = Spectrum(wave, fs, window="rect")
+        hann = Spectrum(wave, fs, window="hann")
+        probe = 120 * fs / n
+        assert hann.power_dbm_at(probe) < rect.power_dbm_at(probe)
+
+    def test_peaks_ranked_by_amplitude(self):
+        fs, n = 1.024e9, 4096
+        bin_width = fs / n
+        wave = sine_wave(100 * bin_width, 0.2, sample_times(fs, n)) + \
+            sine_wave(300 * bin_width, 0.05, sample_times(fs, n))
+        peaks = Spectrum(wave, fs).peaks(2)
+        assert peaks[0].frequency == pytest.approx(100 * bin_width)
+        assert peaks[1].frequency == pytest.approx(300 * bin_width)
+
+    def test_sfdr_of_clean_tone_is_large(self):
+        fs, n = 1.024e9, 4096
+        frequency = 100 * fs / n
+        wave = sine_wave(frequency, 0.1, sample_times(fs, n))
+        assert Spectrum(wave, fs).spur_free_dynamic_range_db(frequency) > 100.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            Spectrum(np.zeros(4), 1e9)
+        with pytest.raises(ValueError):
+            Spectrum(np.zeros(64), -1.0)
+        with pytest.raises(ValueError):
+            Spectrum(np.zeros(64), 1e9, window="blackman")
+        spectrum = Spectrum(np.random.default_rng(0).normal(size=64), 1e9)
+        with pytest.raises(ValueError):
+            spectrum.bin_of(1e10)
+
+    def test_module_level_helpers(self):
+        fs, n = 1.024e9, 4096
+        frequency = 100 * fs / n
+        wave = sine_wave(frequency, 0.1, sample_times(fs, n))
+        assert power_dbm_at(wave, fs, frequency) == pytest.approx(
+            float(dbm_from_vpeak(0.1)), abs=0.01)
+        found_freq, found_power = fundamental_power_dbm(wave, fs)
+        assert found_freq == pytest.approx(frequency)
+        assert found_power == pytest.approx(float(dbm_from_vpeak(0.1)), abs=0.01)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.units — conversions and small helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+class TestDecibels:
+    def test_power_ratio_round_trip(self):
+        assert units.db_from_power_ratio(100.0) == pytest.approx(20.0)
+        assert units.power_ratio_from_db(20.0) == pytest.approx(100.0)
+
+    def test_voltage_ratio_round_trip(self):
+        assert units.db_from_voltage_ratio(10.0) == pytest.approx(20.0)
+        assert units.voltage_ratio_from_db(20.0) == pytest.approx(10.0)
+
+    def test_db_of_unity_is_zero(self):
+        assert units.db_from_power_ratio(1.0) == pytest.approx(0.0)
+        assert units.db_from_voltage_ratio(1.0) == pytest.approx(0.0)
+
+    def test_array_inputs(self):
+        values = np.array([1.0, 10.0, 100.0])
+        np.testing.assert_allclose(units.db_from_power_ratio(values),
+                                   [0.0, 10.0, 20.0])
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.watts_from_dbm(0.0) == pytest.approx(1e-3)
+        assert units.dbm_from_watts(1e-3) == pytest.approx(0.0)
+
+    def test_vpeak_round_trip(self):
+        for dbm in (-40.0, -10.0, 0.0, 10.0):
+            v = units.vpeak_from_dbm(dbm)
+            assert units.dbm_from_vpeak(v) == pytest.approx(dbm)
+
+    def test_zero_dbm_amplitude_in_50_ohm(self):
+        # 1 mW into 50 ohm -> 316.2 mV peak.
+        assert units.vpeak_from_dbm(0.0) == pytest.approx(0.3162, abs=1e-3)
+
+    def test_vrms_is_vpeak_over_sqrt2(self):
+        assert units.vrms_from_dbm(0.0) * math.sqrt(2.0) == pytest.approx(
+            float(units.vpeak_from_dbm(0.0)))
+
+    def test_dbm_from_vrms_matches_vpeak_path(self):
+        v_rms = 0.1
+        assert units.dbm_from_vrms(v_rms) == pytest.approx(
+            float(units.dbm_from_vpeak(v_rms * math.sqrt(2.0))))
+
+
+class TestFrequencyHelpers:
+    def test_si_prefix_scaling(self):
+        assert units.ghz(2.4) == pytest.approx(2.4e9)
+        assert units.mhz(5.0) == pytest.approx(5e6)
+        assert units.khz(100.0) == pytest.approx(1e5)
+
+    def test_format_si(self):
+        assert units.format_si(2.4e9, "Hz") == "2.4 GHz"
+        assert units.format_si(0.0, "Hz") == "0 Hz"
+        assert units.format_si(3.3e-3, "A") == "3.3 mA"
+
+    def test_logspace_endpoints(self):
+        grid = units.logspace(1e3, 1e6, 31)
+        assert grid[0] == pytest.approx(1e3)
+        assert grid[-1] == pytest.approx(1e6)
+        assert len(grid) == 31
+
+    def test_logspace_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.logspace(0.0, 1e6, 10)
+
+
+class TestCircuitHelpers:
+    def test_parallel_of_equal_resistors(self):
+        assert units.parallel(100.0, 100.0) == pytest.approx(50.0)
+
+    def test_parallel_with_short(self):
+        assert units.parallel(100.0, 0.0) == 0.0
+
+    def test_parallel_empty_raises(self):
+        with pytest.raises(ValueError):
+            units.parallel()
+
+    def test_series_sum(self):
+        assert units.series(10.0, 20.0, 30.0) == pytest.approx(60.0)
+
+    def test_thermal_noise_of_50_ohm(self):
+        # ~0.91 nV/sqrt(Hz) at 290 K.
+        assert units.thermal_noise_voltage_density(50.0) == pytest.approx(
+            0.91e-9, rel=0.02)
+
+    def test_thermal_noise_rejects_negative_resistance(self):
+        with pytest.raises(ValueError):
+            units.thermal_noise_voltage_density(-1.0)
+
+    def test_clamp(self):
+        assert units.clamp(5.0, 0.0, 1.0) == 1.0
+        assert units.clamp(-5.0, 0.0, 1.0) == 0.0
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            units.clamp(0.0, 2.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert units.geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            units.geometric_mean([])
+        with pytest.raises(ValueError):
+            units.geometric_mean([1.0, -1.0])

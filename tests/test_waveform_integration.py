@@ -1,0 +1,134 @@
+"""Integration tests: the waveform-level mixer model measured like hardware.
+
+These are the cross-checks that give the analytic specs teeth: the same
+quantities (conversion gain, IIP3, P1dB, IIP2) are re-measured from sampled
+waveforms through FFTs and must agree with both the analytic model and the
+paper's numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MixerMode, PAPER_TARGETS_ACTIVE, PAPER_TARGETS_PASSIVE
+from repro.rf.compression import measure_compression_point
+from repro.rf.conversion_gain import measure_conversion_gain
+from repro.rf.twotone import TwoToneSource, fit_intercept_point, sweep_two_tone
+
+LO = 2.4e9
+RF = 2.405e9
+IF = 5e6
+
+
+@pytest.fixture(scope="module", params=[MixerMode.ACTIVE, MixerMode.PASSIVE],
+                ids=["active", "passive"])
+def mode(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def device(mode, design, sample_rate):
+    from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+    mixer = ReconfigurableMixer(design, mode)
+    return mixer.waveform_device(sample_rate, lo_frequency=LO,
+                                 rf_band_frequency=RF)
+
+
+@pytest.fixture(scope="module")
+def mixer(mode, design):
+    from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+    return ReconfigurableMixer(design, mode)
+
+
+class TestWaveformConversionGain:
+    def test_measured_gain_matches_analytic(self, device, mixer, sample_rate,
+                                            num_samples):
+        measured = measure_conversion_gain(device, RF, IF, -40.0, sample_rate,
+                                           num_samples)
+        assert measured == pytest.approx(mixer.conversion_gain_db(RF, IF), abs=0.5)
+
+    def test_measured_gain_matches_paper(self, device, mixer, sample_rate,
+                                         num_samples):
+        targets = (PAPER_TARGETS_ACTIVE if mixer.mode is MixerMode.ACTIVE
+                   else PAPER_TARGETS_PASSIVE)
+        measured = measure_conversion_gain(device, RF, IF, -40.0, sample_rate,
+                                           num_samples)
+        assert measured == pytest.approx(targets.conversion_gain_db, abs=1.0)
+
+    def test_gain_independent_of_small_signal_level(self, device, sample_rate,
+                                                    num_samples):
+        g1 = measure_conversion_gain(device, RF, IF, -50.0, sample_rate, num_samples)
+        g2 = measure_conversion_gain(device, RF, IF, -35.0, sample_rate, num_samples)
+        assert g1 == pytest.approx(g2, abs=0.2)
+
+    def test_conversion_gain_guard_against_large_input(self, device, sample_rate,
+                                                       num_samples):
+        with pytest.raises(ValueError):
+            measure_conversion_gain(device, RF, IF, -5.0, sample_rate, num_samples)
+
+
+class TestWaveformLinearity:
+    def test_two_tone_iip3_matches_paper(self, device, mixer, sample_rate,
+                                         num_samples):
+        targets = (PAPER_TARGETS_ACTIVE if mixer.mode is MixerMode.ACTIVE
+                   else PAPER_TARGETS_PASSIVE)
+        powers = np.arange(-45.0, -23.0, 3.0)
+        source = TwoToneSource(2.405e9, 2.407e9, float(powers[0]))
+        sweep = sweep_two_tone(device, source, powers, sample_rate, num_samples,
+                               lo_frequency=LO)
+        fit = fit_intercept_point(powers,
+                                  [r.fundamental_output_dbm for r in sweep],
+                                  [r.im3_output_dbm for r in sweep])
+        assert fit.intercept_input_dbm == pytest.approx(targets.iip3_dbm, abs=2.5)
+        assert fit.intercept_input_dbm == pytest.approx(mixer.iip3_dbm(), abs=2.0)
+
+    def test_compression_point_close_to_analytic(self, device, mixer, sample_rate,
+                                                 num_samples):
+        result = measure_compression_point(device, RF,
+                                           np.arange(-40.0, -6.0, 2.0),
+                                           sample_rate, num_samples,
+                                           output_frequency=IF)
+        assert result.compression_found
+        assert result.input_p1db_dbm == pytest.approx(mixer.p1db_dbm(), abs=2.5)
+
+    def test_output_never_exceeds_swing_limit(self, device, mixer, sample_rate,
+                                              num_samples, design):
+        from repro.rf.signal import Tone, sample_times
+
+        tone = Tone(RF, 0.0)  # a deliberately huge input (0 dBm)
+        times = sample_times(sample_rate, num_samples)
+        output = device(tone.waveform(times))
+        assert np.max(np.abs(output)) <= design.output_swing_limit * 1.0001
+
+
+class TestWaveformModeComparison:
+    def test_passive_beats_active_on_iip3_by_over_10db(self, design, sample_rate,
+                                                       num_samples):
+        from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+        powers = np.arange(-45.0, -25.0, 4.0)
+        intercepts = {}
+        for mode in (MixerMode.ACTIVE, MixerMode.PASSIVE):
+            mixer = ReconfigurableMixer(design, mode)
+            dev = mixer.waveform_device(sample_rate, lo_frequency=LO,
+                                        rf_band_frequency=RF)
+            source = TwoToneSource(2.405e9, 2.407e9, float(powers[0]))
+            sweep = sweep_two_tone(dev, source, powers, sample_rate, num_samples,
+                                   lo_frequency=LO)
+            fit = fit_intercept_point(powers,
+                                      [r.fundamental_output_dbm for r in sweep],
+                                      [r.im3_output_dbm for r in sweep])
+            intercepts[mode] = fit.intercept_input_dbm
+        assert intercepts[MixerMode.PASSIVE] > intercepts[MixerMode.ACTIVE] + 10.0
+
+    def test_waveform_device_validates_inputs(self, design):
+        from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+        mixer = ReconfigurableMixer(design, MixerMode.ACTIVE)
+        with pytest.raises(ValueError):
+            mixer.waveform_device(sample_rate=-1.0)
+        with pytest.raises(ValueError):
+            mixer.waveform_device(sample_rate=1e9, lo_frequency=2.4e9)
