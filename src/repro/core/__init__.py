@@ -36,7 +36,11 @@ from repro.core.transconductance import TransconductanceAmplifier
 from repro.core.switching_quad import SwitchingQuad
 from repro.core.tia import TwoStageOTA, TransimpedanceAmplifier
 from repro.core.load import TransmissionGateLoad
-from repro.core.reconfigurable_mixer import ReconfigurableMixer, MixerSpecs
+from repro.core.reconfigurable_mixer import (
+    ReconfigurableMixer,
+    MixerSpecs,
+    SpecIntermediates,
+)
 from repro.core.frontend import WidebandReceiverFrontEnd, LowNoiseAmplifier, Balun
 from repro.core.power import PowerBudget
 
@@ -58,6 +62,7 @@ __all__ = [
     "TransmissionGateLoad",
     "ReconfigurableMixer",
     "MixerSpecs",
+    "SpecIntermediates",
     "WidebandReceiverFrontEnd",
     "LowNoiseAmplifier",
     "Balun",

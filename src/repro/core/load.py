@@ -62,6 +62,14 @@ class TransmissionGateLoad:
         """First-order low-pass response applied to the IF output."""
         return FirstOrderLowPass(dc_gain=1.0, pole_frequency=self.if_bandwidth)
 
+    def if_magnitude(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Magnitude of the R_load C_c low-pass at ``frequency`` (scalar or array).
+
+        Vectorized counterpart of ``if_response().magnitude`` for sweep-engine
+        callers that evaluate whole IF grids at once.
+        """
+        return self.if_response().magnitude(frequency)
+
     def impedance(self, frequency: float) -> complex:
         """Load impedance R || C_c at ``frequency``."""
         return feedback_impedance(self.resistance, self.design.load_capacitance,

@@ -57,6 +57,29 @@ from repro.units import (
 
 
 @dataclass(frozen=True)
+class SpecIntermediates:
+    """Memoized per-(design, mode) scalars behind the spec accessors.
+
+    Everything here depends only on the frozen design record and the mode —
+    not on the swept RF/IF frequencies — so the sweep engine computes it once
+    per (design, mode) cell and then evaluates whole frequency grids through
+    the vectorized accessors.  The scalar accessors read the same cache, so
+    repeated point queries stop re-deriving the operating point too.
+    """
+
+    mode: MixerMode
+    peak_gain_db: float
+    band_low_hz: float
+    band_high_hz: float
+    white_nf_db: float
+    flicker_corner_hz: float
+    iip3_dbm: float
+    iip2_dbm: float
+    p1db_dbm: float
+    power_mw: float
+
+
+@dataclass(frozen=True)
 class MixerSpecs:
     """Headline specifications of one mixer configuration."""
 
@@ -99,6 +122,9 @@ class ReconfigurableMixer:
                  mode: MixerMode = MixerMode.ACTIVE) -> None:
         self.design = design if design is not None else MixerDesign()
         self._mode = mode
+        # Per-mode memo of the frequency-independent spec scalars; the design
+        # is frozen, so entries never go stale and survive mode flips.
+        self._intermediates: dict[MixerMode, SpecIntermediates] = {}
 
     # -- mode control ---------------------------------------------------------
 
@@ -183,6 +209,12 @@ class ReconfigurableMixer:
             return self.load.if_response()
         return self.tia.if_response()
 
+    def _if_magnitude(self, if_frequency: float | np.ndarray) -> float | np.ndarray:
+        """IF roll-off magnitude of the current mode's output network."""
+        if self._mode is MixerMode.ACTIVE:
+            return self.load.if_magnitude(if_frequency)
+        return self.tia.if_magnitude(if_frequency)
+
     def _coupling_capacitance(self, mode: MixerMode | None = None) -> float:
         mode = mode or self._mode
         if mode is MixerMode.ACTIVE:
@@ -195,12 +227,65 @@ class ReconfigurableMixer:
             return self.design.band_node_resistance_active
         return self.design.band_node_resistance_passive
 
+    # -- memoized spec intermediates ----------------------------------------------
+
+    def spec_intermediates(self) -> SpecIntermediates:
+        """The frequency-independent spec scalars of the current mode.
+
+        Computed once per mode and cached for the lifetime of the mixer
+        (the design record is frozen, so nothing can invalidate the entry).
+        Both the scalar spec accessors and the vectorized array variants read
+        this cache; the sweep engine relies on it to keep per-grid-cell work
+        down to pure NumPy array maths.
+        """
+        cached = self._intermediates.get(self._mode)
+        if cached is not None:
+            return cached
+        iip3 = self._compute_iip3_dbm()
+        band_low, band_high = self.transconductor.band_edges(
+            self._coupling_capacitance(), self._band_node_resistance())
+        gain = SWITCHING_FACTOR * self._effective_gm() * self._load_resistance()
+        intermediates = SpecIntermediates(
+            mode=self._mode,
+            peak_gain_db=float(db_from_voltage_ratio(gain)),
+            band_low_hz=band_low,
+            band_high_hz=band_high,
+            white_nf_db=self._compute_white_noise_figure_db(),
+            flicker_corner_hz=self.switching_quad.flicker_corner(self._mode),
+            iip3_dbm=iip3,
+            iip2_dbm=self._compute_iip2_dbm(),
+            p1db_dbm=self._compute_p1db_dbm(iip3),
+            power_mw=self._compute_power_mw(),
+        )
+        self._intermediates[self._mode] = intermediates
+        return intermediates
+
     # -- conversion gain -------------------------------------------------------------
 
     def peak_conversion_gain_db(self) -> float:
         """In-band, low-IF conversion gain (dB): ``(2/pi) * gm_eff * R_load``."""
-        gain = SWITCHING_FACTOR * self._effective_gm() * self._load_resistance()
-        return float(db_from_voltage_ratio(gain))
+        return self.spec_intermediates().peak_gain_db
+
+    def conversion_gain_db_array(self, rf_frequency: float | np.ndarray,
+                                 if_frequency: float | np.ndarray) -> np.ndarray:
+        """Vectorized conversion gain (dB) over RF/IF frequency arrays.
+
+        ``rf_frequency`` and ``if_frequency`` broadcast against each other
+        under the usual NumPy rules, so a full Fig. 8 x Fig. 9 plane is one
+        call with ``rf[:, None]`` against ``if_[None, :]``.  The scalar
+        :meth:`conversion_gain_db` is a thin wrapper around this method, so
+        both paths are numerically identical.
+        """
+        rf = np.asarray(rf_frequency, dtype=float)
+        if_freq = np.asarray(if_frequency, dtype=float)
+        if np.any(rf <= 0) or np.any(if_freq <= 0):
+            raise ValueError("frequencies must be positive")
+        gain_db = self.spec_intermediates().peak_gain_db
+        band = self.transconductor.band_response(
+            rf, self._coupling_capacitance(), self._band_node_resistance())
+        if_mag = self._if_magnitude(if_freq)
+        return np.asarray(gain_db + db_from_voltage_ratio(band)
+                          + db_from_voltage_ratio(if_mag))
 
     def conversion_gain_db(self, rf_frequency: float | None = None,
                            if_frequency: float | None = None) -> float:
@@ -209,28 +294,26 @@ class ReconfigurableMixer:
         ``rf_frequency`` applies the wide-band response of Fig. 8;
         ``if_frequency`` applies the IF roll-off of the load / TIA feedback
         pole that shapes Fig. 9.  Omitted arguments default to the design's
-        nominal operating point (2.405 GHz RF, 5 MHz IF).
+        nominal operating point (2.405 GHz RF, 5 MHz IF).  Thin scalar
+        wrapper over :meth:`conversion_gain_db_array`.
         """
         rf = rf_frequency if rf_frequency is not None else self.design.rf_frequency
         if_freq = if_frequency if if_frequency is not None \
             else self.design.if_frequency
-        if rf <= 0 or if_freq <= 0:
-            raise ValueError("frequencies must be positive")
-        gain_db = self.peak_conversion_gain_db()
-        band = self.transconductor.band_response(
-            rf, self._coupling_capacitance(), self._band_node_resistance())
-        if_mag = self._if_filter().magnitude(if_freq)
-        return gain_db + float(db_from_voltage_ratio(band)) \
-            + float(db_from_voltage_ratio(if_mag))
+        return float(self.conversion_gain_db_array(rf, if_freq))
 
     def band_edges(self) -> tuple[float, float]:
         """-3 dB RF band edges (Hz) of the current mode."""
-        return self.transconductor.band_edges(self._coupling_capacitance(),
-                                              self._band_node_resistance())
+        intermediates = self.spec_intermediates()
+        return intermediates.band_low_hz, intermediates.band_high_hz
 
     # -- noise figure -------------------------------------------------------------------
 
     def white_noise_figure_db(self) -> float:
+        """DSB noise figure well above the flicker corner (dB); memoized."""
+        return self.spec_intermediates().white_nf_db
+
+    def _compute_white_noise_figure_db(self) -> float:
         """DSB noise figure well above the flicker corner (dB).
 
         The noise factor is a sum of physically identifiable terms referred
@@ -274,14 +357,25 @@ class ReconfigurableMixer:
 
     def flicker_corner_hz(self) -> float:
         """1/f corner frequency of the current mode (Hz)."""
-        return self.switching_quad.flicker_corner(self._mode)
+        return self.spec_intermediates().flicker_corner_hz
+
+    def noise_figure_db_array(self, if_frequency: float | np.ndarray) -> np.ndarray:
+        """Vectorized DSB noise figure (dB) over an IF frequency array.
+
+        One call evaluates the whole Fig. 9 NF curve; the scalar
+        :meth:`noise_figure_db` wraps this method, so both paths agree
+        exactly.
+        """
+        intermediates = self.spec_intermediates()
+        return np.asarray(nf_with_flicker(intermediates.white_nf_db,
+                                          intermediates.flicker_corner_hz,
+                                          np.asarray(if_frequency, dtype=float)))
 
     def noise_figure_db(self, if_frequency: float | None = None) -> float:
         """DSB noise figure (dB) at an IF frequency, including the 1/f rise."""
         if_freq = if_frequency if if_frequency is not None \
             else self.design.if_frequency
-        return float(nf_with_flicker(self.white_noise_figure_db(),
-                                     self.flicker_corner_hz(), if_freq))
+        return float(self.noise_figure_db_array(if_freq))
 
     # -- linearity ----------------------------------------------------------------------
 
@@ -304,13 +398,16 @@ class ReconfigurableMixer:
         return float(dbm_from_vpeak(output_intercept / gain))
 
     def iip3_dbm(self) -> float:
-        """Composite input-referred IIP3 (dBm) of the current mode.
+        """Composite input-referred IIP3 (dBm) of the current mode; memoized.
 
         The contributions (Gm stage, quad on-resistance modulation, output
         network) are combined with the standard voltage-domain rule
         ``1/A_total^2 = sum(1/A_k^2)`` since all are referred to the same
         input port.
         """
+        return self.spec_intermediates().iip3_dbm
+
+    def _compute_iip3_dbm(self) -> float:
         contributions_dbm = [self.gm_stage_iip3_dbm(),
                              self.switching_quad.iip3_dbm(self._mode),
                              self.output_stage_iip3_dbm()]
@@ -332,6 +429,9 @@ class ReconfigurableMixer:
         products; the residue is the single-ended second-order term of the
         Gm device scaled by the fractional mismatch.
         """
+        return self.spec_intermediates().iip2_dbm
+
+    def _compute_iip2_dbm(self) -> float:
         coefficients = self.transconductor.taylor_coefficients()
         mismatch = self.design.differential_mismatch
         if mismatch <= 0 or coefficients.g2 == 0.0:
@@ -347,7 +447,10 @@ class ReconfigurableMixer:
         output-swing-limited value; the paper attributes the low-IF
         compression to the OTA output swing.
         """
-        candidates = [self.iip3_dbm() - 9.6]
+        return self.spec_intermediates().p1db_dbm
+
+    def _compute_p1db_dbm(self, iip3_dbm: float) -> float:
+        candidates = [iip3_dbm - 9.6]
         gain = SWITCHING_FACTOR * self._effective_gm() * self._load_resistance()
         # The output limiter used by the waveform model is a hard (6th-order)
         # clip, which reaches 1 dB of compression when the ideal output is at
@@ -360,6 +463,9 @@ class ReconfigurableMixer:
 
     def power_mw(self) -> float:
         """Supply power of the current mode (mW); see :mod:`repro.core.power`."""
+        return self.spec_intermediates().power_mw
+
+    def _compute_power_mw(self) -> float:
         from repro.core.power import PowerBudget
 
         return PowerBudget(self.design).total_mw(self._mode)

@@ -77,6 +77,7 @@ class TransconductanceAmplifier:
         self.degeneration_resistance = degeneration_resistance
         self.technology: Technology = design.technology
         self._bias_per_side = design.tca_bias_current / 2.0
+        self._taylor_cache: dict[float, TaylorCoefficients] = {}
 
     # -- device sizing --------------------------------------------------------
 
@@ -147,8 +148,18 @@ class TransconductanceAmplifier:
 
         Central differences on the large-signal transfer (including the
         series feedback of the degeneration resistor, solved per point)
-        produce g1..g3; g3 is what sets the IIP3.
+        produce g1..g3; g3 is what sets the IIP3.  The expansion depends only
+        on the (frozen) design and ``delta``, so results are memoized — the
+        sweep engine hits this from every linearity spec it evaluates.
         """
+        cached = self._taylor_cache.get(delta)
+        if cached is not None:
+            return cached
+        coefficients = self._compute_taylor_coefficients(delta)
+        self._taylor_cache[delta] = coefficients
+        return coefficients
+
+    def _compute_taylor_coefficients(self, delta: float) -> TaylorCoefficients:
         vgs0 = self.bias_point.vgs
         vds = self.technology.mid_rail
         r_s = self.degeneration_resistance
@@ -234,6 +245,9 @@ class TransconductanceAmplifier:
 
         First-order high-pass at the low edge and second-order low-pass at
         the high edge; the product reproduces the band-pass shape of Fig. 8.
+        ``rf_frequency`` may be a scalar or an array of any shape — this is
+        the vectorized hot path the sweep engine evaluates whole RF grids
+        through in one call.
         """
         low_edge, high_edge = self.band_edges(coupling_capacitance,
                                               output_node_resistance)

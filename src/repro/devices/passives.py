@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.units import BOLTZMANN, T0_KELVIN
 
 
@@ -105,18 +107,21 @@ class Inductor:
 
 
 def feedback_impedance(resistance: float, capacitance: float,
-                       frequency: float) -> complex:
+                       frequency: float | np.ndarray) -> complex | np.ndarray:
     """Impedance of a parallel RC feedback network ``R_F || C_F``.
 
     This is the ``Z_F`` of the paper's equation (3): the passive-mode
     conversion gain is ``(2/pi) * gm * Z_F`` and the TIA bandwidth is the RC
-    pole of this network.
+    pole of this network.  ``frequency`` may be a scalar (returns a plain
+    ``complex``) or an array (returns a complex array) — the vectorized form
+    is what the sweep engine's gain paths evaluate whole IF grids through,
+    so this function stays the single source of truth for Z_F.
     """
     if resistance <= 0 or capacitance <= 0:
         raise ValueError("feedback R and C must be positive")
-    r = Resistor(resistance)
-    c = Capacitor(capacitance)
-    if frequency == 0:
-        return complex(resistance, 0.0)
-    y = r.admittance(frequency) + c.admittance(frequency)
-    return 1.0 / y
+    f = np.asarray(frequency, dtype=float)
+    admittance = 1.0 / resistance + 1j * 2.0 * math.pi * f * capacitance
+    # DC is exactly R (matches Capacitor.impedance's open-circuit limit
+    # without a last-ulp 1/(1/R) round trip).
+    z = np.where(f == 0, complex(resistance, 0.0), 1.0 / admittance)
+    return z if np.ndim(frequency) else complex(z)

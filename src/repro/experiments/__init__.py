@@ -15,6 +15,22 @@ function call both here and there.
 | :mod:`repro.experiments.iip2`              | section IV text — IIP2 > 65 dBm |
 | :mod:`repro.experiments.power_budget`      | section III/IV text — power per mode |
 | :mod:`repro.experiments.tia_response`      | equation (4) — TIA input impedance |
+
+Sweep-engine architecture
+-------------------------
+
+The analytic curve sweeps (Fig. 8, Fig. 9, the corner columns of the
+ablation study, the "this work" columns of Table I, and the analytic
+reference intercepts of Fig. 10) all run on :mod:`repro.sweep`: a
+:class:`~repro.sweep.runner.SweepRunner` evaluates the spec accessors over
+a labelled design x mode x RF x IF grid using NumPy broadcast calls, with
+the frequency-independent work memoized once per (design, mode).  The
+waveform-level measurements (Fig. 10's two-tone spectra, IIP2, compression)
+are genuine sampled-signal benches and stay point-by-point by design.
+
+To add a new sweep scenario, follow the recipe in :mod:`repro.sweep` —
+:func:`repro.sweep.run_monte_carlo` (re-exported here) is the worked
+example: a random device-parameter spread over a sampled design axis.
 """
 
 from repro.experiments.fig8_gain_vs_rf import run_fig8, Fig8Result
@@ -25,9 +41,11 @@ from repro.experiments.iip2 import run_iip2, Iip2Result
 from repro.experiments.power_budget import run_power_budget, PowerBudgetResult
 from repro.experiments.tia_response import run_tia_response, TiaResponseResult
 from repro.experiments.ablation import run_ablation, AblationResult
+from repro.sweep.montecarlo import run_monte_carlo, MonteCarloResult
 
 __all__ = [
     "run_ablation", "AblationResult",
+    "run_monte_carlo", "MonteCarloResult",
     "run_fig8", "Fig8Result",
     "run_fig9", "Fig9Result",
     "run_fig10", "Fig10Result",

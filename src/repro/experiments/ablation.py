@@ -11,7 +11,11 @@ way" checks DESIGN.md calls out, each isolating one design decision:
 * **TIA power gating** — keep the TIA powered in active mode and show the
   power advantage of the paper's p3 switch disappears;
 * **process corners** — re-derive the headline specs at slow/fast corners to
-  show the behavioural design is not balanced on a knife edge.
+  show the behavioural design is not balanced on a knife edge.  The corner
+  designs run as one design axis through the vectorized sweep engine
+  (:mod:`repro.sweep`); the statistical sibling of this study — random
+  device spread over many sampled designs — lives in
+  :mod:`repro.sweep.montecarlo`.
 """
 
 from __future__ import annotations
@@ -160,18 +164,28 @@ def run_corner_sweep(design: MixerDesign) -> list[CornerPoint]:
 
     The device geometry is frozen at the nominal sizing (a fabricated chip
     cannot resize itself), so corners shift the realised gm — and with it the
-    gain — the way silicon would.
+    gain — the way silicon would.  The noise/linearity columns run through
+    the vectorized sweep engine with the three corner designs as one design
+    axis; the frozen-geometry gains are a deliberate physical override the
+    engine's per-design re-sizing would hide, so they stay hand-computed.
     """
     from repro.core.transconductance import TransconductanceAmplifier
     from repro.rf.conversion_gain import SWITCHING_FACTOR
+    from repro.sweep import SweepRunner
     from repro.units import db_from_voltage_ratio
+
+    corner_designs = {
+        "nominal": design,
+        "slow": replace(design, technology=slow_corner()),
+        "fast": replace(design, technology=fast_corner()),
+    }
+    sweep = SweepRunner(design, specs=("noise_figure_db", "iip3_dbm")).run(
+        modes=(MixerMode.ACTIVE, MixerMode.PASSIVE), designs=corner_designs)
 
     nominal_width = TransconductanceAmplifier(design).device.params.width
     points = []
-    for label, technology in (("nominal", design.technology),
-                              ("slow", slow_corner()),
-                              ("fast", fast_corner())):
-        corner_design = replace(design, technology=technology)
+    for label, corner_design in corner_designs.items():
+        technology = corner_design.technology
         # Realised gm of the frozen geometry at this corner and bias.
         device = Mosfet.nmos(nominal_width, design.gm_device_length, technology)
         vgs = device.vgs_for_current(design.tca_bias_current / 2.0,
@@ -183,15 +197,16 @@ def run_corner_sweep(design: MixerDesign) -> list[CornerPoint]:
         passive_gain = float(db_from_voltage_ratio(
             SWITCHING_FACTOR * gm_eff * design.feedback_resistance))
 
-        active = ReconfigurableMixer(corner_design, MixerMode.ACTIVE)
-        passive = ReconfigurableMixer(corner_design, MixerMode.PASSIVE)
         points.append(CornerPoint(
             corner=label,
             active_gain_db=active_gain,
             passive_gain_db=passive_gain,
-            active_nf_db=active.noise_figure_db(),
-            passive_nf_db=passive.noise_figure_db(),
-            passive_iip3_dbm=passive.iip3_dbm(),
+            active_nf_db=sweep.value("noise_figure_db", design=label,
+                                     mode=MixerMode.ACTIVE),
+            passive_nf_db=sweep.value("noise_figure_db", design=label,
+                                      mode=MixerMode.PASSIVE),
+            passive_iip3_dbm=sweep.value("iip3_dbm", design=label,
+                                         mode=MixerMode.PASSIVE),
         ))
     return points
 

@@ -7,6 +7,11 @@ extrapolated intercepts of +6.57 dBm (passive, Fig. 10a) and -11.9 dBm
 the waveform-level mixer model — tones through the nonlinear signal path, LO
 commutation, FFT, product extraction — and fits the intercept from the swept
 lines exactly as the figure does.
+
+The analytic reference intercepts each panel is compared against come from a
+spot :class:`~repro.sweep.runner.SweepRunner` evaluation (mode axis only),
+so the waveform measurement and the analytic model are read through the same
+sweep engine every other figure uses.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import numpy as np
 from repro.core.config import MixerDesign, MixerMode
 from repro.core.reconfigurable_mixer import ReconfigurableMixer
 from repro.rf.twotone import TwoToneSource, fit_intercept_point, sweep_two_tone
+from repro.sweep import SweepRunner
 from repro.units import ghz, mhz
 
 #: Default sampling grid: 10.24 GS/s with 10240 samples gives exact 1 MHz
@@ -62,7 +68,7 @@ class Fig10Result:
 def _measure_mode(design: MixerDesign, mode: MixerMode, lo_frequency: float,
                   tone_1: float, tone_2: float,
                   input_powers_dbm: np.ndarray, sample_rate: float,
-                  num_samples: int) -> ModeIip3Result:
+                  num_samples: int, analytic_iip3_dbm: float) -> ModeIip3Result:
     mixer = ReconfigurableMixer(design, mode)
     device = mixer.waveform_device(sample_rate, lo_frequency=lo_frequency,
                                    rf_band_frequency=tone_1)
@@ -79,7 +85,7 @@ def _measure_mode(design: MixerDesign, mode: MixerMode, lo_frequency: float,
         im3_dbm=im3,
         iip3_dbm=fit.intercept_input_dbm,
         oip3_dbm=fit.intercept_output_dbm,
-        analytic_iip3_dbm=mixer.iip3_dbm(),
+        analytic_iip3_dbm=analytic_iip3_dbm,
     )
 
 
@@ -98,12 +104,16 @@ def run_fig10(design: MixerDesign | None = None,
     if powers.size < 4:
         raise ValueError("the intercept fit needs at least 4 swept powers")
 
+    analytic = SweepRunner(design, specs=("iip3_dbm",)).run(
+        modes=(MixerMode.PASSIVE, MixerMode.ACTIVE))
     passive = _measure_mode(design, MixerMode.PASSIVE, lo_frequency_hz,
                             tone_1_hz, tone_2_hz, powers, sample_rate,
-                            num_samples)
+                            num_samples,
+                            analytic.value("iip3_dbm", mode=MixerMode.PASSIVE))
     active = _measure_mode(design, MixerMode.ACTIVE, lo_frequency_hz,
                            tone_1_hz, tone_2_hz, powers, sample_rate,
-                           num_samples)
+                           num_samples,
+                           analytic.value("iip3_dbm", mode=MixerMode.ACTIVE))
     return Fig10Result(passive=passive, active=active,
                        lo_frequency_hz=lo_frequency_hz,
                        tone_1_hz=tone_1_hz, tone_2_hz=tone_2_hz)

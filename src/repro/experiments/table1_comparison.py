@@ -6,6 +6,12 @@ technology, supply.  This driver rebuilds the whole table: the "this work"
 columns come from the reconfigurable-mixer model (analytic specs, the same
 ones the waveform measurements corroborate) and the reference columns from
 the published-baseline database.
+
+The "this work" columns are evaluated through the vectorized sweep engine —
+one :class:`~repro.sweep.runner.SweepRunner` spot run over the mode axis
+with every spec enabled — and reassembled into :class:`MixerSpecs`, so the
+table shares its numbers (and its memoized per-design intermediates) with
+the figure sweeps.
 """
 
 from __future__ import annotations
@@ -19,7 +25,9 @@ from repro.core.config import (
     PAPER_TARGETS_ACTIVE,
     PAPER_TARGETS_PASSIVE,
 )
-from repro.core.reconfigurable_mixer import MixerSpecs, ReconfigurableMixer
+from repro.core.reconfigurable_mixer import MixerSpecs
+from repro.sweep import ALL_SPECS, SweepRunner
+from repro.sweep.result import SweepResult
 
 #: Row labels in the order the paper prints them.
 TABLE_I_ROWS = [
@@ -76,11 +84,32 @@ class Table1Result:
         return best_label
 
 
+def _specs_from_sweep(sweep: SweepResult, mode: MixerMode) -> MixerSpecs:
+    """Reassemble a MixerSpecs record from one mode column of a spot sweep."""
+    def value(spec: str) -> float:
+        return sweep.value(spec, mode=mode)
+
+    return MixerSpecs(
+        mode=mode,
+        conversion_gain_db=value("conversion_gain_db"),
+        noise_figure_db=value("noise_figure_db"),
+        iip3_dbm=value("iip3_dbm"),
+        iip2_dbm=value("iip2_dbm"),
+        p1db_dbm=value("p1db_dbm"),
+        power_mw=value("power_mw"),
+        band_low_hz=value("band_low_hz"),
+        band_high_hz=value("band_high_hz"),
+        flicker_corner_hz=value("flicker_corner_hz"),
+    )
+
+
 def run_table1(design: MixerDesign | None = None) -> Table1Result:
     """Regenerate Table I (this work in both modes plus the eight references)."""
     design = design if design is not None else MixerDesign()
-    active = ReconfigurableMixer(design, MixerMode.ACTIVE).specs()
-    passive = ReconfigurableMixer(design, MixerMode.PASSIVE).specs()
+    sweep = SweepRunner(design, specs=ALL_SPECS).run(
+        modes=(MixerMode.ACTIVE, MixerMode.PASSIVE))
+    active = _specs_from_sweep(sweep, MixerMode.ACTIVE)
+    passive = _specs_from_sweep(sweep, MixerMode.PASSIVE)
 
     columns: list[dict[str, float | str | None]] = [
         active.as_table_row(), passive.as_table_row()]

@@ -31,51 +31,63 @@ WaveformTransfer = Callable[[np.ndarray], np.ndarray]
 SWITCHING_FACTOR = 2.0 / math.pi
 
 
-def switching_mixer_voltage_gain(gm: float, load_impedance: float) -> float:
+def switching_mixer_voltage_gain(gm: float | np.ndarray,
+                                 load_impedance: float | np.ndarray
+                                 ) -> float | np.ndarray:
     """Linear voltage conversion gain of an ideal commutating mixer.
 
     ``(2/pi) * gm * |Z_load|`` — equation (3) of the paper with ``Z_F`` as
     the load, equally applicable to the active mode with the transmission
-    gate resistance as the load.
+    gate resistance as the load.  Both arguments broadcast, so a sweep can
+    combine a vector of effective gm values with a vector of load magnitudes
+    in one call; scalar inputs return a plain ``float``.
     """
-    if gm <= 0:
+    gm_arr = np.asarray(gm, dtype=float)
+    load_arr = np.asarray(load_impedance, dtype=float)
+    if np.any(gm_arr <= 0):
         raise ValueError("gm must be positive")
-    if load_impedance <= 0:
+    if np.any(load_arr <= 0):
         raise ValueError("load impedance magnitude must be positive")
-    return SWITCHING_FACTOR * gm * load_impedance
+    gain = SWITCHING_FACTOR * gm_arr * load_arr
+    return gain if np.ndim(gm) or np.ndim(load_impedance) else float(gain)
 
 
 def passive_mixer_gain_db(gm: float, feedback_resistance: float,
                           feedback_capacitance: float,
-                          if_frequency: float) -> float:
+                          if_frequency: float | np.ndarray) -> float | np.ndarray:
     """Passive-mode conversion gain in dB at a given IF frequency.
 
     The load is the TIA feedback network ``R_F || C_F`` (equation 3); its RC
-    pole is what rolls the gain off at high IF in Fig. 9.
+    pole is what rolls the gain off at high IF in Fig. 9.  ``if_frequency``
+    may be an array, in which case the whole gain curve comes back at once.
     """
     from repro.devices.passives import feedback_impedance
 
-    z_f = abs(feedback_impedance(feedback_resistance, feedback_capacitance,
-                                 if_frequency))
-    return float(db_from_voltage_ratio(switching_mixer_voltage_gain(gm, z_f)))
+    z_f = np.abs(feedback_impedance(feedback_resistance, feedback_capacitance,
+                                    if_frequency))
+    result = db_from_voltage_ratio(switching_mixer_voltage_gain(gm, z_f))
+    return result if np.ndim(if_frequency) else float(result)
 
 
 def active_mixer_gain_db(gm: float, load_resistance: float,
                          load_capacitance: float | None = None,
-                         if_frequency: float | None = None) -> float:
+                         if_frequency: float | np.ndarray | None = None
+                         ) -> float | np.ndarray:
     """Active-mode (Gilbert cell) conversion gain in dB.
 
     The load is the transmission-gate resistance, optionally shunted by the
-    low-pass capacitor ``C_c`` when an IF frequency is given.
+    low-pass capacitor ``C_c`` when an IF frequency (scalar or array) is
+    given.
     """
     if load_capacitance is not None and if_frequency is not None:
         from repro.devices.passives import feedback_impedance
 
-        load = abs(feedback_impedance(load_resistance, load_capacitance,
-                                      if_frequency))
+        load = np.abs(feedback_impedance(load_resistance, load_capacitance,
+                                         if_frequency))
     else:
         load = load_resistance
-    return float(db_from_voltage_ratio(switching_mixer_voltage_gain(gm, load)))
+    result = db_from_voltage_ratio(switching_mixer_voltage_gain(gm, load))
+    return result if np.ndim(if_frequency) else float(result)
 
 
 def measure_conversion_gain(device: WaveformTransfer, rf_frequency: float,

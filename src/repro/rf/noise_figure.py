@@ -48,24 +48,32 @@ def friis_cascade_nf(nf_db: Sequence[float], gain_db: Sequence[float]) -> float:
     return float(noise_figure_from_factor(total))
 
 
-def nf_with_flicker(nf_white_db: float, flicker_corner_hz: float,
+def nf_with_flicker(nf_white_db: float | np.ndarray,
+                    flicker_corner_hz: float | np.ndarray,
                     frequency_hz: float | np.ndarray) -> float | np.ndarray:
     """Spot noise figure including a 1/f contribution.
 
     The excess noise factor is modelled as ``(F_white - 1) * (1 + fc / f)``
     so the white floor is recovered well above the corner and the NF rises at
     10 dB/decade below it — the shape of the paper's Fig. 9 curves.
+
+    All three arguments broadcast against each other, so a sweep can stack
+    per-design white floors and corners against a shared IF grid in one
+    vectorized call; a fully scalar call still returns a plain ``float``.
     """
-    if flicker_corner_hz < 0:
+    corner = np.asarray(flicker_corner_hz, dtype=float)
+    if np.any(corner < 0):
         raise ValueError("flicker corner must be non-negative")
     freq = np.asarray(frequency_hz, dtype=float)
     if np.any(freq <= 0):
         raise ValueError("frequency must be positive")
-    white_factor = float(power_ratio_from_db(nf_white_db))
-    excess = (white_factor - 1.0) * (1.0 + flicker_corner_hz / freq)
+    white_factor = np.asarray(power_ratio_from_db(nf_white_db), dtype=float)
+    excess = (white_factor - 1.0) * (1.0 + corner / freq)
     factor = 1.0 + excess
     result = 10.0 * np.log10(factor)
-    return result if np.ndim(frequency_hz) else float(result)
+    if np.ndim(frequency_hz) or np.ndim(nf_white_db) or np.ndim(flicker_corner_hz):
+        return result
+    return float(result)
 
 
 def flicker_corner_from_nf(frequencies_hz: Sequence[float],

@@ -1,0 +1,107 @@
+"""Labelled sweep axes for the vectorized sweep engine.
+
+A sweep is a dense grid over up to four axes — design variant, mixer mode,
+RF frequency and IF frequency.  :class:`SweepAxis` is the labelled axis the
+result container indexes by: it knows its name, its values, and how a user
+selector (a frequency in Hz, a :class:`~repro.core.config.MixerMode`, a
+design label) maps onto an integer index.
+
+Numeric axes resolve selectors to the *nearest* grid point, which is what
+figure-reading helpers want ("the gain at 2.45 GHz" on a logarithmic grid);
+categorical axes (mode, design) require an exact match and raise a
+``KeyError`` naming the known values otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+#: Canonical axis names, in storage order, used by :class:`SweepRunner`.
+DESIGN_AXIS = "design"
+MODE_AXIS = "mode"
+RF_AXIS = "rf_frequency_hz"
+IF_AXIS = "if_frequency_hz"
+
+
+def _normalise(value: Any) -> Any:
+    """Map enum-like selector values (e.g. MixerMode.ACTIVE) to their label."""
+    return getattr(value, "value", value)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One labelled axis of a sweep grid.
+
+    ``values`` is a tuple of floats (numeric axis) or strings (categorical
+    axis); mixing the two kinds on one axis is rejected.
+    """
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        if len(self.values) == 0:
+            raise ValueError(f"axis {self.name!r} must have at least one value")
+        kinds = {isinstance(v, str) for v in self.values}
+        if len(kinds) > 1:
+            raise ValueError(
+                f"axis {self.name!r} mixes numeric and categorical values")
+
+    @classmethod
+    def numeric(cls, name: str, values) -> "SweepAxis":
+        """Build a numeric axis from any 1-D array-like of frequencies/values."""
+        array = np.atleast_1d(np.asarray(values, dtype=float))
+        if array.ndim != 1:
+            raise ValueError(f"axis {name!r} values must be one-dimensional")
+        return cls(name=name, values=tuple(float(v) for v in array))
+
+    @classmethod
+    def categorical(cls, name: str, values) -> "SweepAxis":
+        """Build a categorical axis; enum members are stored by their .value."""
+        labels = tuple(str(_normalise(v)) for v in values)
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"axis {name!r} has duplicate labels: {labels}")
+        return cls(name=name, values=labels)
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for float-valued axes (nearest-point selection)."""
+        return not isinstance(self.values[0], str)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.values)
+
+    def as_array(self) -> np.ndarray:
+        """Numeric axis values as a float array (raises on categorical axes)."""
+        if not self.is_numeric:
+            raise TypeError(f"axis {self.name!r} is categorical")
+        return np.asarray(self.values, dtype=float)
+
+    def index_of(self, selector: Any) -> int:
+        """Index of the grid point a user selector refers to.
+
+        Numeric axes: the nearest value.  Categorical axes: the exact label
+        (enum members are accepted and matched by their ``.value``).
+        """
+        if self.is_numeric:
+            target = float(_normalise(selector))
+            return int(np.argmin(np.abs(self.as_array() - target)))
+        label = str(_normalise(selector))
+        try:
+            return self.values.index(label)
+        except ValueError:
+            raise KeyError(
+                f"axis {self.name!r} has no value {label!r}; "
+                f"known values: {list(self.values)}") from None
+
+    def to_dict(self) -> dict:
+        """JSON-ready description of the axis."""
+        return {"name": self.name, "values": list(self.values)}

@@ -1,0 +1,165 @@
+"""Golden-figure regression pins for the paper's headline artifacts.
+
+These tests freeze the *current* reproduction of Fig. 8, Fig. 9, Fig. 10
+and Table I to tight numeric tolerances.  They are deliberately stricter
+than the shape checks in ``test_experiments.py``: a refactor of the core or
+sweep layers that shifts any curve by more than the pinned tolerance is a
+reproduction regression and must be reviewed, not absorbed.
+
+Tolerances: analytic quantities (closed-form spec accessors, swept curves)
+are pinned to 1e-6 absolute — they must be bit-stable short of a deliberate
+model change.  Waveform-measured quantities (two-tone FFT intercepts) are
+pinned to 0.02 dB to leave room for last-ulp drift in FFT/filter libraries
+while still catching any real change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MixerMode
+from repro.experiments import run_fig8, run_fig9, run_fig10, run_table1
+
+ANALYTIC = 1e-6   # absolute tolerance for closed-form quantities
+MEASURED = 0.02   # absolute tolerance (dB) for FFT-measured quantities
+
+
+@pytest.fixture(scope="module")
+def fig8(design):
+    return run_fig8(design)
+
+
+@pytest.fixture(scope="module")
+def fig9(design):
+    return run_fig9(design)
+
+
+@pytest.fixture(scope="module")
+def fig10(design):
+    return run_fig10(design)
+
+
+@pytest.fixture(scope="module")
+def table1(design):
+    return run_table1(design)
+
+
+class TestFig8Golden:
+    """Fig. 8 — conversion gain vs RF frequency (default 200-point grid)."""
+
+    def test_peak_gains(self, fig8):
+        assert fig8.peak_gain_db(MixerMode.ACTIVE) == \
+            pytest.approx(29.225128219694163, abs=ANALYTIC)
+        assert fig8.peak_gain_db(MixerMode.PASSIVE) == \
+            pytest.approx(25.516224275026406, abs=ANALYTIC)
+
+    def test_gain_at_wlan_band(self, fig8):
+        assert fig8.gain_at(MixerMode.ACTIVE, 2.45e9) == \
+            pytest.approx(29.19190253263783, abs=ANALYTIC)
+        assert fig8.gain_at(MixerMode.PASSIVE, 2.45e9) == \
+            pytest.approx(25.473669268849495, abs=ANALYTIC)
+
+    def test_band_edges_read_off_curve(self, fig8):
+        active_low, active_high = fig8.band_edges_hz(MixerMode.ACTIVE)
+        passive_low, passive_high = fig8.band_edges_hz(MixerMode.PASSIVE)
+        assert active_low == pytest.approx(852750726.5145735, rel=1e-9)
+        assert active_high == pytest.approx(5881406982.08098, rel=1e-9)
+        assert passive_low == pytest.approx(467304970.45393515, rel=1e-9)
+        assert passive_high == pytest.approx(5264552322.843086, rel=1e-9)
+
+
+class TestFig9Golden:
+    """Fig. 9 — NF and conversion gain vs IF frequency at 2.45 GHz RF."""
+
+    def test_spot_noise_figures_at_5mhz(self, fig9):
+        assert fig9.value_at(MixerMode.ACTIVE, "nf", 5e6) == \
+            pytest.approx(7.59695935675324, abs=ANALYTIC)
+        assert fig9.value_at(MixerMode.PASSIVE, "nf", 5e6) == \
+            pytest.approx(10.112128665038034, abs=ANALYTIC)
+
+    def test_spot_gains_at_5mhz(self, fig9):
+        assert fig9.value_at(MixerMode.ACTIVE, "gain", 5e6) == \
+            pytest.approx(29.196902344507418, abs=ANALYTIC)
+        assert fig9.value_at(MixerMode.PASSIVE, "gain", 5e6) == \
+            pytest.approx(25.483827565398187, abs=ANALYTIC)
+
+    def test_flicker_corners_read_off_curve(self, fig9):
+        assert fig9.flicker_corner_hz(MixerMode.ACTIVE) == \
+            pytest.approx(551712.6253787299, rel=1e-9)
+        assert fig9.flicker_corner_hz(MixerMode.PASSIVE) == \
+            pytest.approx(54208.63623568075, rel=1e-9)
+
+
+class TestFig10Golden:
+    """Fig. 10 — two-tone IIP3 intercepts (waveform-measured + analytic)."""
+
+    def test_measured_intercepts(self, fig10):
+        assert fig10.passive.iip3_dbm == pytest.approx(6.850774932497206,
+                                                       abs=MEASURED)
+        assert fig10.active.iip3_dbm == pytest.approx(-10.594800862122117,
+                                                      abs=MEASURED)
+
+    def test_measured_output_intercepts(self, fig10):
+        assert fig10.passive.oip3_dbm == pytest.approx(32.33598424137216,
+                                                       abs=MEASURED)
+        assert fig10.active.oip3_dbm == pytest.approx(18.561064423731953,
+                                                      abs=MEASURED)
+
+    def test_analytic_references(self, fig10):
+        assert fig10.passive.analytic_iip3_dbm == \
+            pytest.approx(6.556303416717682, abs=ANALYTIC)
+        assert fig10.active.analytic_iip3_dbm == \
+            pytest.approx(-11.907531909389748, abs=ANALYTIC)
+
+
+class TestTable1Golden:
+    """Table I — the "this work" columns at the nominal operating point."""
+
+    def test_active_column(self, table1):
+        specs = table1.this_work_active
+        assert specs.conversion_gain_db == pytest.approx(29.177058423662693,
+                                                         abs=ANALYTIC)
+        assert specs.noise_figure_db == pytest.approx(7.591346506394875,
+                                                      abs=ANALYTIC)
+        assert specs.iip3_dbm == pytest.approx(-11.907531909389748, abs=ANALYTIC)
+        assert specs.p1db_dbm == pytest.approx(-21.507531909389748, abs=ANALYTIC)
+        assert specs.power_mw == pytest.approx(9.36, abs=ANALYTIC)
+        assert specs.band_low_hz == pytest.approx(1000974484.8546876, rel=1e-9)
+        assert specs.band_high_hz == pytest.approx(5526213301.801922, rel=1e-9)
+
+    def test_passive_column(self, table1):
+        specs = table1.this_work_passive
+        assert specs.conversion_gain_db == pytest.approx(25.485587415212006,
+                                                         abs=ANALYTIC)
+        assert specs.noise_figure_db == pytest.approx(10.111536063293507,
+                                                      abs=ANALYTIC)
+        assert specs.iip3_dbm == pytest.approx(6.556303416717682, abs=ANALYTIC)
+        assert specs.p1db_dbm == pytest.approx(-14.421757015802008, abs=ANALYTIC)
+        assert specs.power_mw == pytest.approx(9.24, abs=ANALYTIC)
+        assert specs.band_low_hz == pytest.approx(500487242.4273438, rel=1e-9)
+        assert specs.band_high_hz == pytest.approx(5101119970.894081, rel=1e-9)
+
+    def test_columns_stay_within_paper_tolerance(self, table1):
+        """The pins above must also stay honest to the paper's numbers."""
+        deviations = table1.deviations_from_paper()
+        for mode in ("active", "passive"):
+            assert abs(deviations[mode]["gain_db"]) < 0.5
+            assert abs(deviations[mode]["nf_db"]) < 0.5
+            assert abs(deviations[mode]["iip3_dbm"]) < 0.5
+
+
+class TestCurveShapeGolden:
+    """Whole-curve checksums: cheap guards over every swept point at once."""
+
+    def test_fig8_curve_checksums(self, fig8):
+        assert float(np.mean(fig8.active_gain_db)) == \
+            pytest.approx(26.341387131245778, abs=ANALYTIC)
+        assert float(np.mean(fig8.passive_gain_db)) == \
+            pytest.approx(23.842914018210713, abs=ANALYTIC)
+
+    def test_fig9_curve_checksums(self, fig9):
+        assert float(np.mean(fig9.active_nf_db)) == \
+            pytest.approx(11.7475976448998, abs=ANALYTIC)
+        assert float(np.mean(fig9.passive_nf_db)) == \
+            pytest.approx(11.441975547572445, abs=ANALYTIC)

@@ -1,0 +1,178 @@
+"""Edge-case tests for the MNA assembly engine (`repro.circuit.mna`).
+
+The happy paths (dividers, cascades, AC magnitude checks) live in
+``test_circuit_engine.py``; these tests pin the corners that keep the
+engine robust but were previously untested:
+
+* ``gmin`` regularisation of floating/singular nodes (standard SPICE
+  practice) and the least-squares fallback when it is disabled;
+* silent dropping of stamps against the ground node;
+* complex-dtype assembly for AC analysis, including the branch equations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import (
+    CurrentSource,
+    ResistorElement,
+    VoltageSource,
+)
+from repro.circuit.mna import MnaSystem, SolutionView
+from repro.circuit.netlist import GROUND, Circuit
+
+
+def _two_node_circuit() -> Circuit:
+    """R1 from n1 to ground plus a second node n2 only a capacitor touches.
+
+    ``n2`` is floating at DC (the capacitor contributes no DC conductance),
+    which is exactly the singular case gmin exists to regularise.
+    """
+    from repro.circuit.elements import CapacitorElement
+
+    circuit = Circuit("floating-node")
+    circuit.add(CurrentSource("I1", GROUND, "n1", dc=1e-3))
+    circuit.add(ResistorElement("R1", "n1", GROUND, 1e3))
+    circuit.add(CapacitorElement("C1", "n1", "n2", 1e-12))
+    return circuit
+
+
+class TestGminRegularisation:
+    def test_gmin_lands_on_every_node_diagonal(self):
+        circuit = _two_node_circuit()
+        system = MnaSystem(circuit, gmin=1e-9)
+        for index in range(system.num_nodes):
+            assert system.matrix[index, index] >= 1e-9
+
+    def test_floating_node_solves_cleanly_with_gmin(self):
+        circuit = _two_node_circuit()
+        system = MnaSystem(circuit, gmin=1e-12)
+        guess = SolutionView(circuit, np.zeros(system.size))
+        for element in circuit:
+            element.stamp_dc(system, guess)
+        solution = SolutionView(circuit, system.solve())
+        # The driven node sees I*R; the floating node leaks to 0 through gmin.
+        assert solution.voltage("n1") == pytest.approx(1.0, rel=1e-6)
+        assert abs(solution.voltage("n2")) < 1e-6
+        assert np.all(np.isfinite(solution.vector))
+
+    def test_gmin_zero_falls_back_to_least_squares(self):
+        circuit = _two_node_circuit()
+        system = MnaSystem(circuit, gmin=0.0)
+        guess = SolutionView(circuit, np.zeros(system.size))
+        for element in circuit:
+            element.stamp_dc(system, guess)
+        # The matrix is singular (n2 has an all-zero row at DC), but solve()
+        # must still return a finite least-squares solution, not raise.
+        solution = SolutionView(circuit, system.solve())
+        assert np.all(np.isfinite(solution.vector))
+        assert solution.voltage("n1") == pytest.approx(1.0, rel=1e-6)
+
+    def test_gmin_does_not_bias_well_conditioned_answers(self):
+        circuit = Circuit("divider")
+        circuit.add(VoltageSource("V1", "in", GROUND, dc=1.0))
+        circuit.add(ResistorElement("R1", "in", "out", 1e3))
+        circuit.add(ResistorElement("R2", "out", GROUND, 1e3))
+        system = MnaSystem(circuit, gmin=1e-12)
+        guess = SolutionView(circuit, np.zeros(system.size))
+        for element in circuit:
+            element.stamp_dc(system, guess)
+        solution = SolutionView(circuit, system.solve())
+        assert solution.voltage("out") == pytest.approx(0.5, rel=1e-9)
+
+
+class TestGroundStampDropping:
+    def test_conductance_to_ground_touches_only_the_node_diagonal(self):
+        circuit = Circuit("one-r")
+        circuit.add(ResistorElement("R1", "n1", GROUND, 100.0))
+        system = MnaSystem(circuit, gmin=0.0)
+        system.add_conductance("n1", GROUND, 0.01)
+        assert system.matrix[0, 0] == pytest.approx(0.01)
+        # Nothing else may have been written.
+        matrix = system.matrix.copy()
+        matrix[0, 0] = 0.0
+        assert np.count_nonzero(matrix) == 0
+
+    def test_current_into_ground_is_dropped(self):
+        circuit = Circuit("one-r")
+        circuit.add(ResistorElement("R1", "n1", GROUND, 100.0))
+        system = MnaSystem(circuit, gmin=0.0)
+        system.add_current(GROUND, 1.0)
+        assert np.count_nonzero(system.rhs) == 0
+        system.add_current("n1", 2.0)
+        assert system.rhs[0] == pytest.approx(2.0)
+
+    def test_vccs_with_grounded_terminals(self):
+        circuit = Circuit("gm")
+        circuit.add(ResistorElement("Rin", "a", GROUND, 1e3))
+        circuit.add(ResistorElement("Rout", "b", GROUND, 1e3))
+        system = MnaSystem(circuit, gmin=0.0)
+        # Output and input each have one grounded terminal: only the single
+        # (out+, in+) entry may be written.
+        system.add_vccs("b", GROUND, "a", GROUND, 1e-3)
+        b, a = system.node_index("b"), system.node_index("a")
+        assert system.matrix[b, a] == pytest.approx(1e-3)
+        matrix = system.matrix.copy()
+        matrix[b, a] = 0.0
+        assert np.count_nonzero(matrix) == 0
+
+    def test_voltage_branch_with_grounded_negative_node(self):
+        circuit = Circuit("vsrc")
+        circuit.add(VoltageSource("V1", "n1", GROUND, dc=2.5))
+        system = MnaSystem(circuit, gmin=0.0)
+        system.stamp_voltage_branch("V1", "n1", GROUND, 2.5)
+        branch = system.branch_index("V1")
+        node = system.node_index("n1")
+        assert system.matrix[node, branch] == pytest.approx(1.0)
+        assert system.matrix[branch, node] == pytest.approx(1.0)
+        assert system.rhs[branch] == pytest.approx(2.5)
+        # The ground row/column must not exist anywhere in the stamp.
+        assert np.count_nonzero(system.matrix) == 2
+
+    def test_ground_node_index_is_sentinel(self):
+        circuit = _two_node_circuit()
+        system = MnaSystem(circuit, gmin=0.0)
+        assert system.node_index(GROUND) == -1
+
+
+class TestComplexAcAssembly:
+    def test_complex_dtype_propagates_to_matrix_and_rhs(self):
+        circuit = Circuit("rc")
+        circuit.add(VoltageSource("V1", "in", GROUND, ac=1.0))
+        circuit.add(ResistorElement("R1", "in", "out", 1e3))
+        system = MnaSystem(circuit, dtype=complex, gmin=0.0)
+        assert system.matrix.dtype == np.complex128
+        assert system.rhs.dtype == np.complex128
+
+    def test_rc_low_pass_at_pole_frequency(self):
+        resistance, capacitance = 1e3, 1e-9
+        pole_hz = 1.0 / (2.0 * np.pi * resistance * capacitance)
+        circuit = Circuit("rc")
+        circuit.add(VoltageSource("V1", "in", GROUND, ac=1.0))
+        circuit.add(ResistorElement("R1", "in", "out", resistance))
+        system = MnaSystem(circuit, dtype=complex, gmin=0.0)
+        system.stamp_voltage_branch("V1", "in", GROUND, 1.0 + 0.0j)
+        system.add_conductance("in", "out", 1.0 / resistance)
+        admittance = 1j * 2.0 * np.pi * pole_hz * capacitance
+        system.add_conductance("out", GROUND, admittance)
+        solution = SolutionView(circuit, system.solve())
+        out = solution.voltage("out")
+        assert isinstance(out, complex)
+        # At the pole: magnitude 1/sqrt(2), phase -45 degrees.
+        assert abs(out) == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-9)
+        assert np.degrees(np.angle(out)) == pytest.approx(-45.0, abs=1e-6)
+
+    def test_branch_current_is_complex_in_ac(self):
+        circuit = Circuit("r-load")
+        circuit.add(VoltageSource("V1", "in", GROUND, ac=1.0))
+        circuit.add(ResistorElement("R1", "in", GROUND, 50.0))
+        system = MnaSystem(circuit, dtype=complex, gmin=0.0)
+        dc = SolutionView(circuit, np.zeros(system.size))
+        for element in circuit:
+            element.stamp_ac(system, 2.0 * np.pi * 1e6, dc)
+        solution = SolutionView(circuit, system.solve())
+        current = solution.branch_current("V1")
+        assert isinstance(current, complex)
+        assert abs(current) == pytest.approx(1.0 / 50.0, rel=1e-9)

@@ -1,0 +1,233 @@
+"""Unit tests for the vectorized sweep engine (grid, result, runner, MC)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.sweep import (
+    ALL_SPECS,
+    DeviceSpread,
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    run_monte_carlo,
+    sample_design,
+)
+
+
+class TestSweepAxis:
+    def test_numeric_axis_selects_nearest(self):
+        axis = SweepAxis.numeric("rf_frequency_hz", [1e9, 2e9, 4e9])
+        assert axis.index_of(1.9e9) == 1
+        assert axis.index_of(5e9) == 2
+        assert axis.is_numeric
+        assert len(axis) == 3
+
+    def test_categorical_axis_exact_match_and_enum(self):
+        axis = SweepAxis.categorical("mode", [MixerMode.ACTIVE,
+                                              MixerMode.PASSIVE])
+        assert axis.values == ("active", "passive")
+        assert axis.index_of("passive") == 1
+        assert axis.index_of(MixerMode.ACTIVE) == 0
+        with pytest.raises(KeyError, match="known values"):
+            axis.index_of("triode")
+
+    def test_rejects_empty_and_duplicate_axes(self):
+        with pytest.raises(ValueError):
+            SweepAxis("rf", ())
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepAxis.categorical("design", ["a", "a"])
+
+    def test_categorical_axis_has_no_array_view(self):
+        axis = SweepAxis.categorical("design", ["nominal"])
+        with pytest.raises(TypeError):
+            axis.as_array()
+
+    def test_to_dict(self):
+        axis = SweepAxis.numeric("if_frequency_hz", [5e6])
+        assert axis.to_dict() == {"name": "if_frequency_hz", "values": [5e6]}
+
+
+class TestSweepResult:
+    @pytest.fixture()
+    def result(self) -> SweepResult:
+        axes = (SweepAxis.categorical("mode", ["active", "passive"]),
+                SweepAxis.numeric("rf_frequency_hz", [1e9, 2e9, 3e9]))
+        data = {"gain_db": np.arange(6.0).reshape(2, 3)}
+        return SweepResult(axes, data)
+
+    def test_shape_and_lookup(self, result):
+        assert result.shape == (2, 3)
+        assert result.spec_names == ("gain_db",)
+        assert result.axis("mode").values == ("active", "passive")
+        with pytest.raises(KeyError):
+            result.axis("if_frequency_hz")
+
+    def test_values_drops_selected_axes(self, result):
+        curve = result.values("gain_db", mode="passive")
+        np.testing.assert_allclose(curve, [3.0, 4.0, 5.0])
+        scalar = result.values("gain_db", mode="active",
+                               rf_frequency_hz=2.1e9)
+        assert scalar == 1.0
+
+    def test_value_requires_full_selection(self, result):
+        assert result.value("gain_db", mode="active",
+                            rf_frequency_hz=1e9) == 0.0
+        with pytest.raises(ValueError, match="rf_frequency_hz"):
+            result.value("gain_db", mode="active")
+
+    def test_curve_and_selector_errors(self, result):
+        f, series = result.curve("gain_db", "rf_frequency_hz", mode="active")
+        np.testing.assert_allclose(f, [1e9, 2e9, 3e9])
+        np.testing.assert_allclose(series, [0.0, 1.0, 2.0])
+        with pytest.raises(ValueError, match="select one"):
+            result.curve("gain_db", "rf_frequency_hz")
+        with pytest.raises(ValueError, match="sweep along and select"):
+            result.curve("gain_db", "rf_frequency_hz", mode="active",
+                         rf_frequency_hz=1e9)
+        with pytest.raises(KeyError, match="no spec"):
+            result.values("nf_db")
+
+    def test_shape_mismatch_rejected(self):
+        axes = (SweepAxis.numeric("rf_frequency_hz", [1e9, 2e9]),)
+        with pytest.raises(ValueError, match="shape"):
+            SweepResult(axes, {"gain_db": np.zeros(3)})
+
+    def test_to_dict_round_trips_axes_and_data(self, result):
+        exported = result.to_dict()
+        assert [a["name"] for a in exported["axes"]] == \
+            ["mode", "rf_frequency_hz"]
+        assert exported["specs"]["gain_db"] == [[0.0, 1.0, 2.0],
+                                                [3.0, 4.0, 5.0]]
+
+
+class TestSweepRunner:
+    def test_rejects_unknown_specs(self, design):
+        with pytest.raises(ValueError, match="unknown specs"):
+            SweepRunner(design, specs=("s_parameters",))
+        with pytest.raises(ValueError, match="at least one spec"):
+            SweepRunner(design, specs=())
+
+    def test_default_run_is_a_nominal_spot_sweep(self, design):
+        sweep = SweepRunner(design).run()
+        assert sweep.shape == (1, 2, 1, 1)
+        assert sweep.axis("design").values == ("nominal",)
+        assert sweep.axis("mode").values == ("active", "passive")
+        assert sweep.axis("rf_frequency_hz").values[0] == design.rf_frequency
+        # Mode ordering is respected and specs differ across modes.
+        assert sweep.value("power_mw", mode="active") == \
+            pytest.approx(9.36, abs=1e-6)
+        assert sweep.value("power_mw", mode="passive") == \
+            pytest.approx(9.24, abs=1e-6)
+
+    def test_all_specs_produce_full_grid(self, design):
+        rf = np.array([1e9, 2.4e9])
+        if_ = np.array([1e6, 5e6, 20e6])
+        sweep = SweepRunner(design, specs=ALL_SPECS).run(
+            rf_frequencies=rf, if_frequencies=if_, modes=(MixerMode.PASSIVE,))
+        assert sweep.shape == (1, 1, 2, 3)
+        for spec in ALL_SPECS:
+            assert sweep.values(spec).shape == (1, 1, 2, 3)
+        # Flat specs really are flat across the frequency plane.
+        iip3 = sweep.values("iip3_dbm", design="nominal", mode="passive")
+        assert np.ptp(iip3) == 0.0
+
+    def test_rejects_bad_grids_and_axes(self, design):
+        runner = SweepRunner(design)
+        with pytest.raises(ValueError, match="positive"):
+            runner.run(rf_frequencies=[-1e9])
+        with pytest.raises(ValueError, match="mode axis"):
+            runner.run(modes=())
+        with pytest.raises(TypeError, match="MixerMode"):
+            runner.run(modes=("active",))
+        with pytest.raises(ValueError, match="design axis"):
+            runner.run(designs={})
+        with pytest.raises(TypeError, match="MixerDesign"):
+            runner.run(designs=["not-a-design"])
+
+    def test_mixers_are_memoized_across_runs(self, design):
+        runner = SweepRunner(design, specs=("conversion_gain_db",))
+        runner.run(rf_frequencies=[1e9, 2e9])
+        assert runner.cached_design_count == 1
+        runner.run(rf_frequencies=[3e9, 4e9])
+        assert runner.cached_design_count == 1
+        variant = replace(design, degeneration_resistance=100.0)
+        runner.run(designs=[design, variant])
+        assert runner.cached_design_count == 2
+
+    def test_sequence_designs_get_stable_labels(self, design):
+        variant = replace(design, degeneration_resistance=75.0)
+        sweep = SweepRunner(design, specs=("iip3_dbm",)).run(
+            designs=[design, variant], modes=(MixerMode.PASSIVE,))
+        assert sweep.axis("design").values == ("design-0", "design-1")
+        # Stronger degeneration must improve the passive gm-stage linearity.
+        assert sweep.value("iip3_dbm", design="design-1", mode="passive") > \
+            sweep.value("iip3_dbm", design="design-0", mode="passive")
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def mc(self, design):
+        return run_monte_carlo(design, num_samples=8, seed=7)
+
+    def test_sampled_designs_differ_but_stay_physical(self, design):
+        rng = np.random.default_rng(3)
+        sampled = sample_design(design, rng, DeviceSpread(), "mc-test")
+        assert sampled != design
+        assert sampled.technology.u_cox_n > 0
+        assert sampled.feedback_resistance > 0
+        assert sampled.technology.name.endswith("mc-test")
+
+    def test_zero_spread_reproduces_nominal(self, design):
+        rng = np.random.default_rng(3)
+        spread = DeviceSpread(vth_sigma_v=0.0, mobility_sigma=0.0,
+                              resistor_sigma=0.0, capacitor_sigma=0.0)
+        sampled = sample_design(design, rng, spread, "mc-flat")
+        assert sampled.feedback_resistance == design.feedback_resistance
+        assert sampled.technology.vth_n == design.technology.vth_n
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpread(vth_sigma_v=-0.01)
+
+    def test_distributions_centre_near_nominal(self, mc, design):
+        from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+        nominal = ReconfigurableMixer(design, MixerMode.ACTIVE)
+        stats = mc.statistics("conversion_gain_db", MixerMode.ACTIVE)
+        assert stats.std > 0.0
+        assert abs(stats.mean - nominal.conversion_gain_db()) < 1.0
+        assert stats.minimum <= stats.p05 <= stats.mean <= stats.p95 \
+            <= stats.maximum
+
+    def test_yield_fraction_bounds_and_validation(self, mc):
+        everything = mc.yield_fraction("conversion_gain_db", MixerMode.ACTIVE,
+                                       minimum=-1e3, maximum=1e3)
+        assert everything == 1.0
+        nothing = mc.yield_fraction("conversion_gain_db", MixerMode.ACTIVE,
+                                    minimum=1e3)
+        assert nothing == 0.0
+        with pytest.raises(ValueError):
+            mc.yield_fraction("conversion_gain_db", MixerMode.ACTIVE)
+
+    def test_same_seed_is_deterministic(self, design, mc):
+        again = run_monte_carlo(design, num_samples=8, seed=7)
+        np.testing.assert_array_equal(
+            mc.samples("conversion_gain_db", MixerMode.ACTIVE),
+            again.samples("conversion_gain_db", MixerMode.ACTIVE))
+
+    def test_requires_minimum_samples(self, design):
+        with pytest.raises(ValueError):
+            run_monte_carlo(design, num_samples=1)
+
+    def test_report_lists_every_mode_and_spec(self, mc):
+        from repro.sweep.montecarlo import format_report
+
+        report = format_report(mc)
+        assert "Monte-Carlo" in report
+        assert "active" in report and "passive" in report
+        assert "conversion_gain_db" in report
