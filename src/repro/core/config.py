@@ -15,7 +15,9 @@ values in multiple places.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.devices.technology import Technology, UMC65_LIKE
 from repro.units import ghz, mhz
@@ -186,6 +188,31 @@ class MixerDesign:
     def rf_frequency(self) -> float:
         """Nominal RF frequency (LO + IF, low-side LO injection)."""
         return self.lo_frequency + self.if_frequency
+
+    # -- identity -------------------------------------------------------------
+
+    def canonical_dict(self) -> dict:
+        """Every design parameter (technology included) as plain JSON types.
+
+        The mapping is the canonical content of the record: two designs are
+        interchangeable for any derived spec exactly when their canonical
+        dictionaries are equal.  Keys are the dataclass field names; the
+        nested :class:`~repro.devices.technology.Technology` appears under
+        ``technology``.
+        """
+        return asdict(self)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the design record (hex SHA-256).
+
+        Unlike ``hash()``, the fingerprint is identical across processes and
+        interpreter runs (string hashing is salted per process), so it can
+        key on-disk artefacts such as the sweep engine's spec cache.  Any
+        parameter change — including technology-corner shifts — changes it.
+        """
+        payload = json.dumps(self.canonical_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def with_lo(self, lo_frequency: float) -> "MixerDesign":
         """Copy of the design tuned to a different LO frequency."""

@@ -78,6 +78,34 @@ class SpecIntermediates:
     p1db_dbm: float
     power_mw: float
 
+    #: Float fields, in declaration order; shared by (de)serialization.
+    FLOAT_FIELDS = ("peak_gain_db", "band_low_hz", "band_high_hz",
+                    "white_nf_db", "flicker_corner_hz", "iip3_dbm",
+                    "iip2_dbm", "p1db_dbm", "power_mw")
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (the on-disk spec cache's payload format)."""
+        payload: dict = {"mode": self.mode.value}
+        for name in self.FLOAT_FIELDS:
+            payload[name] = float(getattr(self, name))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpecIntermediates":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises ``KeyError``/``ValueError``/``TypeError`` on malformed input;
+        the spec cache treats any of those as a corrupt entry and recomputes.
+        """
+        values = {}
+        for name in cls.FLOAT_FIELDS:
+            value = payload[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(f"field {name!r} must be a number, "
+                                f"got {type(value).__name__}")
+            values[name] = float(value)
+        return cls(mode=MixerMode(payload["mode"]), **values)
+
 
 @dataclass(frozen=True)
 class MixerSpecs:
@@ -241,11 +269,30 @@ class ReconfigurableMixer:
         cached = self._intermediates.get(self._mode)
         if cached is not None:
             return cached
+        intermediates = self._compute_intermediates()
+        self._intermediates[self._mode] = intermediates
+        return intermediates
+
+    def seed_intermediates(self, intermediates: SpecIntermediates) -> None:
+        """Install externally solved intermediates (the on-disk spec cache).
+
+        Seeding the per-mode memo is what lets a warm-cache sweep skip the
+        device sizing bisection entirely: every spec accessor reads
+        :meth:`spec_intermediates` first, and with the entry present nothing
+        ever touches the sized device.  The caller is responsible for the
+        entry matching this mixer's design record; the mode is taken from the
+        record itself.
+        """
+        if not isinstance(intermediates, SpecIntermediates):
+            raise TypeError("seed_intermediates() needs a SpecIntermediates")
+        self._intermediates[intermediates.mode] = intermediates
+
+    def _compute_intermediates(self) -> SpecIntermediates:
         iip3 = self._compute_iip3_dbm()
         band_low, band_high = self.transconductor.band_edges(
             self._coupling_capacitance(), self._band_node_resistance())
         gain = SWITCHING_FACTOR * self._effective_gm() * self._load_resistance()
-        intermediates = SpecIntermediates(
+        return SpecIntermediates(
             mode=self._mode,
             peak_gain_db=float(db_from_voltage_ratio(gain)),
             band_low_hz=band_low,
@@ -257,8 +304,6 @@ class ReconfigurableMixer:
             p1db_dbm=self._compute_p1db_dbm(iip3),
             power_mw=self._compute_power_mw(),
         )
-        self._intermediates[self._mode] = intermediates
-        return intermediates
 
     # -- conversion gain -------------------------------------------------------------
 

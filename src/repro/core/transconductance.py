@@ -31,6 +31,16 @@ from repro.devices.technology import Technology
 from repro.units import REFERENCE_IMPEDANCE, dbm_from_vpeak
 from repro.core.config import MixerDesign
 
+#: Process-wide count of width-bisection sizing solves.  The on-disk spec
+#: cache exists to avoid these; tests and benchmarks read the counter to
+#: prove a warm-cache run performs none.
+_SIZING_SOLVES = 0
+
+
+def sizing_solve_count() -> int:
+    """How many device sizing bisections this process has performed."""
+    return _SIZING_SOLVES
+
 
 @dataclass(frozen=True)
 class TaylorCoefficients:
@@ -88,6 +98,8 @@ class TransconductanceAmplifier:
 
     def _size_device(self) -> Mosfet:
         """Solve the width that delivers ``tca_gm`` at the per-side bias current."""
+        global _SIZING_SOLVES
+        _SIZING_SOLVES += 1
         design = self.design
         length = design.gm_device_length
         target_gm = design.tca_gm

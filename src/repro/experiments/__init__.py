@@ -28,6 +28,18 @@ the frequency-independent work memoized once per (design, mode).  The
 waveform-level measurements (Fig. 10's two-tone spectra, IIP2, compression)
 are genuine sampled-signal benches and stay point-by-point by design.
 
+Every sweep entry point (``run_fig8`` / ``run_fig9`` / ``run_fig10`` /
+``run_table1`` / ``run_monte_carlo``) accepts ``workers=`` and ``cache=``:
+``workers`` shards the design axis across a process pool
+(:mod:`repro.sweep.parallel`, bit-identical results) and ``cache`` persists
+the per-(design, mode) sizing/bias solutions on disk
+(:mod:`repro.sweep.cache`) so warm re-runs skip the bisections.
+
+The figure/table drivers are each frozen by a golden-regression pin in
+``tests/test_golden_figures.py`` (see the per-module docstrings for what
+exactly is pinned); a refactor that moves a pinned number is a reproduction
+regression to be reviewed, never silently absorbed.
+
 To add a new sweep scenario, follow the recipe in :mod:`repro.sweep` —
 :func:`repro.sweep.run_monte_carlo` (re-exported here) is the worked
 example: a random device-parameter spread over a sampled design axis.

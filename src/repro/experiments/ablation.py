@@ -15,7 +15,15 @@ way" checks DESIGN.md calls out, each isolating one design decision:
   designs run as one design axis through the vectorized sweep engine
   (:mod:`repro.sweep`); the statistical sibling of this study — random
   device spread over many sampled designs — lives in
-  :mod:`repro.sweep.montecarlo`.
+  :mod:`repro.sweep.montecarlo` (and scales with ``workers=`` / ``cache=``).
+
+Reproduces: no single paper artefact — these studies defend the design
+*choices* behind Fig. 4-6 (degeneration switches, TG load, TIA gating) and
+so carry no pin in ``tests/test_golden_figures.py``; their qualitative
+directions (who wins, which way each knob moves) are asserted by
+``tests/test_ablation.py`` and ``benchmarks/test_bench_ablation.py``.  The
+specs they perturb are the same pinned quantities, so a corner drift that
+matters shows up in the golden pins first.
 """
 
 from __future__ import annotations

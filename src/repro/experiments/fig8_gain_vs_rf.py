@@ -10,7 +10,13 @@ The sweep itself runs on the vectorized engine (:mod:`repro.sweep`): one
 whole RF grid as array maths, and the curves are read off the labelled
 result.  To sweep a different grid or more modes/designs, widen the axes in
 :func:`run_fig8`'s ``runner.run`` call — see :mod:`repro.sweep` for the
-scenario recipe.
+scenario recipe; ``workers=`` / ``cache=`` plug in the parallel runner and
+the on-disk spec cache.
+
+Golden regression: ``tests/test_golden_figures.py::TestFig8Golden`` pins the
+peak gains, the 2.45 GHz spot gains and the -3 dB band edges of both modes
+to 1e-6 dB absolute — any core/sweep refactor that moves the Fig. 8 curves
+must be an intentional model change, not drift.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import MixerDesign, MixerMode
-from repro.sweep import SweepRunner
+from repro.sweep import SpecCache, make_runner
 from repro.units import ghz, mhz
 
 
@@ -59,18 +65,24 @@ class Fig8Result:
 
 def run_fig8(design: MixerDesign | None = None,
              rf_start_hz: float = ghz(0.3), rf_stop_hz: float = ghz(7.0),
-             points: int = 200, if_frequency_hz: float = mhz(5.0)) -> Fig8Result:
+             points: int = 200, if_frequency_hz: float = mhz(5.0),
+             workers: int | None = None,
+             cache: SpecCache | str | bool | None = None) -> Fig8Result:
     """Regenerate the Fig. 8 sweep.
 
     Parameters mirror the paper's axis: RF from (just below) 0.5 GHz to
-    7 GHz at 5 MHz IF.
+    7 GHz at 5 MHz IF.  ``workers`` / ``cache`` select the parallel runner
+    and the on-disk spec cache (both off by default); with a single design
+    the sweep runs inline either way, but a warm cache still skips the
+    sizing bisections.
     """
     if points < 10:
         raise ValueError("use at least 10 sweep points")
     design = design if design is not None else MixerDesign()
     frequencies = np.logspace(np.log10(rf_start_hz), np.log10(rf_stop_hz), points)
 
-    runner = SweepRunner(design, specs=("conversion_gain_db",))
+    runner = make_runner(design, specs=("conversion_gain_db",),
+                         workers=workers, cache=cache)
     sweep = runner.run(rf_frequencies=frequencies,
                        if_frequencies=[if_frequency_hz],
                        modes=(MixerMode.ACTIVE, MixerMode.PASSIVE))

@@ -3,6 +3,12 @@
 The paper quotes 9.36 mW (active) and 9.24 mW (passive) at 1.2 V, with the
 TIA drawing 3.3 mA and being powered down in active mode.  This driver
 reconstructs the branch-by-branch budget and the headline totals.
+
+Reproduces: the section III/IV power text and Table I's ``power_mw`` row.
+The headline totals are pinned (1e-6 mW) through
+``tests/test_golden_figures.py::TestTable1Golden``, which reads the same
+``power_mw`` spec off the sweep engine; the per-branch decomposition is
+covered by ``tests/test_experiments.py`` / ``tests/test_core_blocks.py``.
 """
 
 from __future__ import annotations

@@ -11,7 +11,13 @@ The "this work" columns are evaluated through the vectorized sweep engine —
 one :class:`~repro.sweep.runner.SweepRunner` spot run over the mode axis
 with every spec enabled — and reassembled into :class:`MixerSpecs`, so the
 table shares its numbers (and its memoized per-design intermediates) with
-the figure sweeps.
+the figure sweeps; ``workers=`` / ``cache=`` plug in the parallel runner
+and the on-disk spec cache like every other sweep entry point.
+
+Golden regression: ``tests/test_golden_figures.py::TestTable1Golden`` pins
+every "this work" spec (gain, NF, IIP3, IIP2, P1dB, power, band edges,
+flicker corner) for both modes to 1e-6, plus the paper-delta bookkeeping —
+the acceptance record that the reproduction still lands on Table I.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.core.config import (
     PAPER_TARGETS_PASSIVE,
 )
 from repro.core.reconfigurable_mixer import MixerSpecs
-from repro.sweep import ALL_SPECS, SweepRunner
+from repro.sweep import ALL_SPECS, SpecCache, make_runner
 from repro.sweep.result import SweepResult
 
 #: Row labels in the order the paper prints them.
@@ -103,10 +109,18 @@ def _specs_from_sweep(sweep: SweepResult, mode: MixerMode) -> MixerSpecs:
     )
 
 
-def run_table1(design: MixerDesign | None = None) -> Table1Result:
-    """Regenerate Table I (this work in both modes plus the eight references)."""
+def run_table1(design: MixerDesign | None = None,
+               workers: int | None = None,
+               cache: SpecCache | str | bool | None = None) -> Table1Result:
+    """Regenerate Table I (this work in both modes plus the eight references).
+
+    ``workers`` / ``cache`` select the parallel runner and the on-disk spec
+    cache; the spot sweep has a single design, so ``cache`` is the one that
+    pays here (a warm entry skips both modes' sizing bisections).
+    """
     design = design if design is not None else MixerDesign()
-    sweep = SweepRunner(design, specs=ALL_SPECS).run(
+    sweep = make_runner(design, specs=ALL_SPECS, workers=workers,
+                        cache=cache).run(
         modes=(MixerMode.ACTIVE, MixerMode.PASSIVE))
     active = _specs_from_sweep(sweep, MixerMode.ACTIVE)
     passive = _specs_from_sweep(sweep, MixerMode.PASSIVE)

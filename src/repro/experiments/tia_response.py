@@ -10,6 +10,12 @@ and an MNA AC analysis of the closed-loop circuit built from the library's
 own circuit substrate (single-pole VCVS op-amp, feedback R_F ∥ C_F) — and
 reports how closely they agree, which doubles as an end-to-end check of the
 circuit engine.
+
+Reproduces: equation (4) and the surrounding virtual-ground argument — a
+paper equation, not a figure, so it carries no pin in
+``tests/test_golden_figures.py``; the analytic-vs-MNA agreement bound is
+asserted by ``tests/test_experiments.py`` and tracked by
+``benchmarks/test_bench_tia.py``.
 """
 
 from __future__ import annotations

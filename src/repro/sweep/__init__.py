@@ -12,8 +12,15 @@ of per-point Python loops:
 * :mod:`repro.sweep.runner` — :class:`SweepRunner`, which memoizes per-design
   mixers and per-(design, mode) spec intermediates, then evaluates whole
   RF x IF planes in single broadcast calls;
+* :mod:`repro.sweep.parallel` — :class:`ParallelSweepRunner`, sharding the
+  design axis across a process pool and stitching shard outputs back with
+  :meth:`SweepResult.concat` (bit-identical to the single-process run);
+* :mod:`repro.sweep.cache` — :class:`SpecCache`, a content-addressed on-disk
+  cache of solved per-(design, mode) intermediates keyed on the design
+  record's stable fingerprint, so warm re-runs skip every sizing bisection;
 * :mod:`repro.sweep.montecarlo` — random device-parameter spread across a
-  design axis, the first scenario only the vectorized path can afford.
+  design axis, the first scenario only the vectorized path can afford (and
+  the canonical consumer of ``workers=`` / ``cache=``).
 
 How to add a new sweep scenario
 -------------------------------
@@ -31,6 +38,12 @@ Keep per-point work out of Python: anything frequency-independent belongs in
 per design x mode), anything frequency-shaped belongs in an array accessor.
 """
 
+from repro.sweep.cache import (
+    CACHE_VERSION,
+    SpecCache,
+    default_cache_dir,
+    resolve_cache,
+)
 from repro.sweep.grid import (
     DESIGN_AXIS,
     IF_AXIS,
@@ -38,6 +51,7 @@ from repro.sweep.grid import (
     RF_AXIS,
     SweepAxis,
 )
+from repro.sweep.parallel import ParallelSweepRunner, make_runner
 from repro.sweep.montecarlo import (
     DeviceSpread,
     MonteCarloResult,
@@ -56,6 +70,7 @@ from repro.sweep.runner import (
 
 __all__ = [
     "ALL_SPECS",
+    "CACHE_VERSION",
     "DEFAULT_SPECS",
     "DESIGN_AXIS",
     "DeviceSpread",
@@ -64,11 +79,16 @@ __all__ = [
     "IF_AXIS",
     "MODE_AXIS",
     "MonteCarloResult",
+    "ParallelSweepRunner",
     "RF_AXIS",
+    "SpecCache",
     "SpecStatistics",
     "SweepAxis",
     "SweepResult",
     "SweepRunner",
+    "default_cache_dir",
+    "make_runner",
+    "resolve_cache",
     "run_monte_carlo",
     "sample_design",
 ]

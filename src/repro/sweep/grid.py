@@ -105,3 +105,17 @@ class SweepAxis:
     def to_dict(self) -> dict:
         """JSON-ready description of the axis."""
         return {"name": self.name, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepAxis":
+        """Rebuild an axis from :meth:`to_dict` output.
+
+        The axis kind is recovered from the value types: all-string values
+        make a categorical axis, numbers a numeric one; a mix is rejected by
+        the constructor as always.
+        """
+        name = payload["name"]
+        values = payload["values"]
+        if values and all(isinstance(value, str) for value in values):
+            return cls.categorical(name, values)
+        return cls.numeric(name, values)

@@ -11,7 +11,10 @@ against limits such as the paper's Table I targets.
 Every sampled design re-solves device sizing and bias from scratch, so a
 point-by-point Python loop over specs would multiply that cost by every
 frequency of interest; the sweep engine pays it once per sample and
-amortises the rest into array maths.
+amortises the rest into array maths.  ``run_monte_carlo(workers=N)`` shards
+the sampled design axis across N processes, and ``cache=`` persists the
+per-sample solutions on disk so repeat runs skip them — see
+:mod:`repro.sweep.parallel` and :mod:`repro.sweep.cache`.
 """
 
 from __future__ import annotations
@@ -23,8 +26,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import MixerDesign, MixerMode
+from repro.sweep.cache import SpecCache
+from repro.sweep.parallel import make_runner
 from repro.sweep.result import SweepResult
-from repro.sweep.runner import DEFAULT_SPECS, SweepRunner
+from repro.sweep.runner import DEFAULT_SPECS
 
 #: Axis/selector label pattern for sampled designs.
 _SAMPLE_LABEL = "mc-{index:03d}"
@@ -152,12 +157,22 @@ def run_monte_carlo(design: MixerDesign | None = None,
                     num_samples: int = 64, seed: int = 20150901,
                     spread: DeviceSpread | None = None,
                     modes: Sequence[MixerMode] | None = None,
-                    specs: Sequence[str] = DEFAULT_SPECS) -> MonteCarloResult:
+                    specs: Sequence[str] = DEFAULT_SPECS,
+                    workers: int | None = None,
+                    cache: SpecCache | str | bool | None = None
+                    ) -> MonteCarloResult:
     """Sample ``num_samples`` perturbed designs and sweep their specs.
 
     The evaluation happens at the nominal operating point (the paper's
     2.405 GHz RF / 5 MHz IF) for every sample; pass the result's underlying
     :class:`SweepResult` to downstream tooling for anything fancier.
+
+    ``workers`` > 1 shards the sampled design axis across that many worker
+    processes (:class:`~repro.sweep.parallel.ParallelSweepRunner`); the
+    result is bit-identical to the single-process run for the same seed.
+    ``cache`` persists each sample's sizing/bias solution on disk
+    (:mod:`repro.sweep.cache`), so re-running the same seed — or any grid
+    containing previously solved samples — skips the bisections entirely.
     """
     if num_samples < 2:
         raise ValueError("a Monte-Carlo run needs at least 2 samples")
@@ -168,7 +183,7 @@ def run_monte_carlo(design: MixerDesign | None = None,
     for index in range(num_samples):
         label = _SAMPLE_LABEL.format(index=index)
         designs[label] = sample_design(design, rng, spread, label)
-    runner = SweepRunner(design, specs=specs)
+    runner = make_runner(design, specs=specs, workers=workers, cache=cache)
     sweep = runner.run(modes=modes, designs=designs)
     return MonteCarloResult(sweep=sweep, num_samples=num_samples, seed=seed,
                             spread=spread)

@@ -1,0 +1,180 @@
+"""Parallel sweep execution: shard the design axis across processes.
+
+The per-(design, mode) cell work — device sizing bisection, bias solution,
+linearity/noise/power scalars — is embarrassingly parallel across the design
+axis: no cell reads another cell's state.  :class:`ParallelSweepRunner`
+exploits that by splitting the design records into contiguous shards, running
+each shard through an ordinary :class:`~repro.sweep.runner.SweepRunner` in a
+``concurrent.futures.ProcessPoolExecutor`` worker, and stitching the shard
+outputs back together with :meth:`SweepResult.concat` along the design axis.
+
+Determinism: every cell is computed by exactly the same code path as the
+single-process runner — same maths, same order within a cell — so the
+stitched result is **bit-identical** to ``SweepRunner.run`` on the same
+grid, regardless of worker count (gated in
+``benchmarks/test_bench_parallel.py``).
+
+The frequency axes are *not* sharded: the whole point of the vectorized
+engine is that the RF x IF plane is cheap array maths; the wall-clock cost
+lives in the per-design solves, so the design axis is the right (and only)
+thing to distribute.
+
+Combine with the on-disk cache (:mod:`repro.sweep.cache`) for the full
+effect: shards share one cache directory, so a re-run — parallel or not —
+skips every bisection that any previous run or shard already paid for.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.sweep.cache import SpecCache, resolve_cache
+from repro.sweep.grid import DESIGN_AXIS, IF_AXIS, RF_AXIS, SweepAxis
+from repro.sweep.result import SweepResult
+from repro.sweep.runner import DEFAULT_SPECS, SweepRunner
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to run its slice of the design axis.
+
+    Kept to plain picklable values (tuples of floats, frozen dataclasses,
+    enum members, an optional directory string) so the task crosses the
+    process boundary cheaply under any start method.
+    """
+
+    specs: tuple[str, ...]
+    labels: tuple[str, ...]
+    records: tuple[MixerDesign, ...]
+    rf_frequencies: tuple[float, ...]
+    if_frequencies: tuple[float, ...]
+    modes: tuple[MixerMode, ...]
+    cache_dir: str | None
+
+
+def _run_shard(task: _ShardTask) -> SweepResult:
+    """Worker entry point: one SweepRunner over one design-axis slice."""
+    cache = SpecCache(task.cache_dir) if task.cache_dir is not None else None
+    runner = SweepRunner(task.records[0], specs=task.specs, cache=cache)
+    return runner.run(
+        rf_frequencies=task.rf_frequencies,
+        if_frequencies=task.if_frequencies,
+        modes=task.modes,
+        designs=dict(zip(task.labels, task.records)),
+    )
+
+
+class ParallelSweepRunner:
+    """Drop-in :class:`SweepRunner` that shards the design axis over processes.
+
+    Parameters
+    ----------
+    design:
+        Baseline design record (defaults and nominal grids), as for
+        :class:`SweepRunner`.
+    specs:
+        Spec curves to evaluate.
+    workers:
+        Worker process count; ``None`` means ``os.cpu_count()``.  With one
+        worker — or a design axis too short to shard — the sweep runs inline
+        in this process, no pool spawned.
+    cache:
+        On-disk spec cache shared by all shards; same accepted values as
+        :class:`SweepRunner`.  The cache is what makes repeated parallel
+        runs cheap: each worker both reads and extends the shared directory.
+    """
+
+    def __init__(self, design: MixerDesign | None = None,
+                 specs: Sequence[str] = DEFAULT_SPECS,
+                 workers: int | None = None,
+                 cache: SpecCache | str | bool | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = int(workers) if workers is not None \
+            else (os.cpu_count() or 1)
+        self.cache = resolve_cache(cache)
+        # The inline runner owns spec validation, the design-axis labelling
+        # rules and the single-process fallback, so both paths stay identical.
+        self._inline = SweepRunner(design, specs=specs, cache=self.cache)
+
+    @property
+    def design(self) -> MixerDesign:
+        """The baseline design record."""
+        return self._inline.design
+
+    @property
+    def specs(self) -> tuple[str, ...]:
+        """The configured spec names."""
+        return self._inline.specs
+
+    def run(self, rf_frequencies: Iterable[float] | np.ndarray | None = None,
+            if_frequencies: Iterable[float] | np.ndarray | None = None,
+            modes: Sequence[MixerMode] | None = None,
+            designs: Mapping[str, MixerDesign] | Sequence[MixerDesign] | None = None
+            ) -> SweepResult:
+        """Evaluate the configured specs over the full grid, sharded.
+
+        Accepts exactly the arguments of :meth:`SweepRunner.run` and returns
+        a bit-identical :class:`SweepResult`.  Sharding applies only when
+        there are at least two design records and two workers; otherwise the
+        call runs inline.
+        """
+        design_axis, records = self._inline._design_axis(designs)
+        _, mode_members = self._inline._mode_axis(modes)
+        # SweepAxis.numeric applies the same 1-D validation (and error
+        # message) the inline runner would, keeping the drop-in contract.
+        rf = SweepAxis.numeric(
+            RF_AXIS, rf_frequencies if rf_frequencies is not None
+            else [self.design.rf_frequency]).values
+        if_ = SweepAxis.numeric(
+            IF_AXIS, if_frequencies if if_frequencies is not None
+            else [self.design.if_frequency]).values
+
+        shard_count = min(self.workers, len(records))
+        if shard_count <= 1:
+            return self._inline.run(rf_frequencies=rf, if_frequencies=if_,
+                                    modes=mode_members,
+                                    designs=dict(zip(design_axis.values,
+                                                     records)))
+
+        labels = design_axis.values
+        cache_dir = str(self.cache.directory) if self.cache is not None else None
+        tasks = []
+        for bounds in np.array_split(np.arange(len(records)), shard_count):
+            start, stop = int(bounds[0]), int(bounds[-1]) + 1
+            tasks.append(_ShardTask(
+                specs=self.specs,
+                labels=tuple(labels[start:stop]),
+                records=tuple(records[start:stop]),
+                rf_frequencies=rf,
+                if_frequencies=if_,
+                modes=tuple(mode_members),
+                cache_dir=cache_dir,
+            ))
+        with ProcessPoolExecutor(max_workers=shard_count) as pool:
+            shards = list(pool.map(_run_shard, tasks))
+        return SweepResult.concat(shards, axis=DESIGN_AXIS)
+
+
+def make_runner(design: MixerDesign | None = None,
+                specs: Sequence[str] = DEFAULT_SPECS,
+                workers: int | None = None,
+                cache: SpecCache | str | bool | None = None
+                ) -> SweepRunner | ParallelSweepRunner:
+    """The runner an experiment entry point should use for its options.
+
+    ``workers=None`` or ``1`` keeps the plain single-process
+    :class:`SweepRunner` (the default everywhere — experiments pay nothing
+    for the parallel machinery unless asked); anything higher returns a
+    :class:`ParallelSweepRunner`.  ``cache`` is honoured by both.
+    """
+    if workers is None or workers == 1:
+        return SweepRunner(design, specs=specs, cache=cache)
+    return ParallelSweepRunner(design, specs=specs, workers=workers,
+                               cache=cache)

@@ -13,11 +13,11 @@ drivers free of shape bookkeeping:
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-from repro.sweep.grid import SweepAxis
+from repro.sweep.grid import DESIGN_AXIS, SweepAxis
 
 
 class SweepResult:
@@ -136,6 +136,55 @@ class SweepResult:
         return along_axis.as_array() if along_axis.is_numeric \
             else np.asarray(along_axis.values), series
 
+    # -- combination ---------------------------------------------------------
+
+    @classmethod
+    def concat(cls, results: Iterable["SweepResult"],
+               axis: str = DESIGN_AXIS) -> "SweepResult":
+        """Stitch shard results back into one sweep along a named axis.
+
+        This is the join step of :class:`~repro.sweep.parallel.\
+ParallelSweepRunner`: each shard holds a contiguous slice of the ``axis``
+        values (by default the design axis) over otherwise identical grids.
+        Every input must carry the same spec names and bit-identical
+        non-concatenated axes; categorical axis labels must stay unique after
+        joining.  Order is preserved — shards concatenate in the order given.
+        """
+        shards = list(results)
+        if not shards:
+            raise ValueError("concat() needs at least one result")
+        first = shards[0]
+        position = first._axis_position(axis)
+        for shard in shards[1:]:
+            if shard.spec_names != first.spec_names:
+                raise ValueError(
+                    f"cannot concat results with different specs: "
+                    f"{shard.spec_names} vs {first.spec_names}")
+            if [a.name for a in shard.axes] != [a.name for a in first.axes]:
+                raise ValueError(
+                    f"cannot concat results with different axes: "
+                    f"{[a.name for a in shard.axes]} vs "
+                    f"{[a.name for a in first.axes]}")
+            for ours, theirs in zip(first.axes, shard.axes):
+                if ours.name != axis and ours.values != theirs.values:
+                    raise ValueError(
+                        f"axis {ours.name!r} differs between shards; only "
+                        f"{axis!r} may vary")
+        joined_values = [value for shard in shards
+                         for value in shard.axis(axis).values]
+        if first.axis(axis).is_numeric:
+            joined_axis = SweepAxis.numeric(axis, joined_values)
+        else:
+            # categorical() re-validates that shard labels stay unique.
+            joined_axis = SweepAxis.categorical(axis, joined_values)
+        axes = tuple(joined_axis if a.name == axis else a for a in first.axes)
+        data = {
+            spec: np.concatenate([shard.data[spec] for shard in shards],
+                                 axis=position)
+            for spec in first.spec_names
+        }
+        return cls(axes, data)
+
     # -- export --------------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -144,6 +193,20 @@ class SweepResult:
             "axes": [axis.to_dict() for axis in self.axes],
             "specs": {spec: array.tolist() for spec, array in self.data.items()},
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``to_dict() -> json -> from_dict()`` round-trips exactly: axis
+        labels, axis kinds, spec names and every float (``tolist`` and JSON
+        both preserve doubles bit-for-bit), so serialized sweeps can be
+        reloaded by caches, services or notebooks without loss.
+        """
+        axes = tuple(SweepAxis.from_dict(entry) for entry in payload["axes"])
+        data = {spec: np.asarray(values, dtype=float)
+                for spec, values in payload["specs"].items()}
+        return cls(axes, data)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         axes = ", ".join(f"{a.name}[{len(a)}]" for a in self.axes)

@@ -17,6 +17,10 @@ frequency** without per-point Python loops.  The split of labour is:
 
 Mixer instances are memoized per design record, so re-running a sweep on a
 refined frequency grid re-uses every sizing/bias solution already paid for.
+An optional on-disk layer (:mod:`repro.sweep.cache`) extends that memo
+across processes and interpreter runs, and
+:class:`~repro.sweep.parallel.ParallelSweepRunner` shards the design axis of
+large grids across worker processes with this runner doing each shard.
 
 Adding a new sweep scenario is: build the designs/modes/grids you care
 about, call :meth:`SweepRunner.run`, and read labelled curves off the
@@ -32,7 +36,8 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.core.config import MixerDesign, MixerMode
-from repro.core.reconfigurable_mixer import ReconfigurableMixer
+from repro.core.reconfigurable_mixer import ReconfigurableMixer, SpecIntermediates
+from repro.sweep.cache import SpecCache, resolve_cache
 from repro.sweep.grid import (
     DESIGN_AXIS,
     IF_AXIS,
@@ -68,11 +73,19 @@ class SweepRunner:
         operating point for defaulted frequency grids.
     specs:
         Which spec curves to evaluate (a subset of :data:`ALL_SPECS`).
+    cache:
+        Optional on-disk cache of solved per-(design, mode) intermediates —
+        ``None``/``False`` (default, off), ``True`` (default directory), a
+        directory path, or a :class:`~repro.sweep.cache.SpecCache`.  With a
+        warm cache every sizing/bias bisection is skipped; see
+        :mod:`repro.sweep.cache`.
     """
 
     def __init__(self, design: MixerDesign | None = None,
-                 specs: Sequence[str] = DEFAULT_SPECS) -> None:
+                 specs: Sequence[str] = DEFAULT_SPECS,
+                 cache: SpecCache | str | bool | None = None) -> None:
         self.design = design if design is not None else MixerDesign()
+        self.cache = resolve_cache(cache)
         self.specs = tuple(specs)
         if not self.specs:
             raise ValueError("need at least one spec to sweep")
@@ -165,16 +178,35 @@ class SweepRunner:
             for mode_index, mode in enumerate(mode_members):
                 mixer.set_mode(mode)
                 cell = (design_index, mode_index)
-                self._fill_cell(mixer, data, cell, rf, if_)
+                self._fill_cell(mixer, record, data, cell, rf, if_)
 
         axes = (design_axis, mode_axis, rf_axis, if_axis)
         return SweepResult(axes, data)
 
-    def _fill_cell(self, mixer: ReconfigurableMixer,
+    def _cell_intermediates(self, mixer: ReconfigurableMixer,
+                            record: MixerDesign) -> SpecIntermediates:
+        """Solve (or load) the frequency-independent scalars for one cell.
+
+        Without a cache this is plain ``mixer.spec_intermediates()``.  With
+        one, a hit seeds the mixer's in-memory memo — so the vectorized
+        accessors below never trigger a sizing bisection — and a miss stores
+        the freshly solved cell for every later run and every sibling shard.
+        """
+        if self.cache is None:
+            return mixer.spec_intermediates()
+        cached = self.cache.load(record, mixer.mode)
+        if cached is not None:
+            mixer.seed_intermediates(cached)
+            return cached
+        intermediates = mixer.spec_intermediates()
+        self.cache.store(record, mixer.mode, intermediates)
+        return intermediates
+
+    def _fill_cell(self, mixer: ReconfigurableMixer, record: MixerDesign,
                    data: dict[str, np.ndarray], cell: tuple[int, int],
                    rf: np.ndarray, if_: np.ndarray) -> None:
         """Evaluate every configured spec for one (design, mode) cell."""
-        intermediates = mixer.spec_intermediates()
+        intermediates = self._cell_intermediates(mixer, record)
         plane = (rf.size, if_.size)
         for spec in self.specs:
             if spec == "conversion_gain_db":

@@ -51,6 +51,13 @@ class TestSweepAxis:
         axis = SweepAxis.numeric("if_frequency_hz", [5e6])
         assert axis.to_dict() == {"name": "if_frequency_hz", "values": [5e6]}
 
+    def test_from_dict_recovers_kind(self):
+        numeric = SweepAxis.numeric("if_frequency_hz", [5e6, 7e6])
+        assert SweepAxis.from_dict(numeric.to_dict()) == numeric
+        categorical = SweepAxis.categorical("mode", [MixerMode.ACTIVE])
+        rebuilt = SweepAxis.from_dict(categorical.to_dict())
+        assert rebuilt == categorical and not rebuilt.is_numeric
+
 
 class TestSweepResult:
     @pytest.fixture()
@@ -103,6 +110,21 @@ class TestSweepResult:
             ["mode", "rf_frequency_hz"]
         assert exported["specs"]["gain_db"] == [[0.0, 1.0, 2.0],
                                                 [3.0, 4.0, 5.0]]
+
+    def test_from_dict_round_trips_through_json(self, result):
+        """to_dict -> json -> from_dict must reload bit-identically."""
+        import json
+
+        rebuilt = SweepResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.shape == result.shape
+        assert rebuilt.spec_names == result.spec_names
+        assert [a.to_dict() for a in rebuilt.axes] == \
+            [a.to_dict() for a in result.axes]
+        np.testing.assert_array_equal(rebuilt.data["gain_db"],
+                                      result.data["gain_db"])
+        # The reloaded result answers selections exactly like the original.
+        assert rebuilt.value("gain_db", mode="passive",
+                             rf_frequency_hz=2e9) == 4.0
 
 
 class TestSweepRunner:

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Docs lint: the README and architecture guide must not rot.
+
+Dependency-free checker run by CI (and by hand) over the repo's Markdown
+documentation. It enforces the acceptance bar "every command shown in the
+docs runs as written" at smoke level:
+
+* every relative Markdown link (``[text](path)``) must point at a file or
+  directory that exists;
+* every fenced ``python`` block must execute successfully with ``src`` on
+  ``PYTHONPATH`` (blocks are run in a subprocess, from the repo root);
+* every fenced ``bash`` block is tokenised and any token that looks like a
+  repo path (``tests``, ``benchmarks``, ``examples/quickstart.py``, ...)
+  must exist — the full pytest invocations themselves are exercised by the
+  dedicated CI steps, so they are not re-run here;
+* backtick-quoted inline references to tracked test/bench/source files
+  (e.g. ```tests/test_golden_figures.py```) must exist.
+
+Exit status is non-zero on the first category of failure, with every
+finding listed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = ["README.md", "docs/architecture.md"]
+
+#: Markdown links: [text](target) — external schemes and anchors are skipped.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)[^)]*\)")
+#: Fenced code blocks with a language tag.
+_FENCE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+#: Inline code spans that look like repo-relative file paths.
+_INLINE_PATH = re.compile(r"`((?:src|tests|benchmarks|examples|docs|tools)"
+                          r"/[\w./-]+)`")
+#: Bash tokens that look like repo-relative paths (conservative).
+_BASH_PATH = re.compile(r"^(?:src|tests|benchmarks|examples|docs|tools)"
+                        r"(?:/[\w.-]+)*$")
+
+
+def _check_links(doc: Path, text: str, problems: list[str]) -> None:
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith("mailto:"):
+            continue
+        resolved = (doc.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{doc}: broken link -> {target}")
+
+
+def _check_inline_paths(doc: Path, text: str, problems: list[str]) -> None:
+    for match in _INLINE_PATH.finditer(text):
+        target = REPO_ROOT / match.group(1)
+        if not target.exists():
+            problems.append(f"{doc}: inline reference to missing file "
+                            f"{match.group(1)}")
+
+
+def _check_bash_block(doc: Path, body: str, problems: list[str]) -> None:
+    for line in body.strip().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        for token in line.split():
+            if _BASH_PATH.match(token) and not (REPO_ROOT / token).exists():
+                problems.append(f"{doc}: bash snippet references missing "
+                                f"path {token!r} in: {line}")
+
+
+def _run_python_block(doc: Path, index: int, body: str,
+                      problems: list[str]) -> None:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    # Docs examples must not need — or pollute — a user-level cache dir.
+    env.setdefault("REPRO_SWEEP_CACHE_DIR",
+                   str(REPO_ROOT / ".docs-check-cache"))
+    try:
+        result = subprocess.run([sys.executable, "-"], input=body, text=True,
+                                capture_output=True, cwd=REPO_ROOT, env=env,
+                                timeout=600)
+    except subprocess.TimeoutExpired:
+        problems.append(f"{doc}: python block #{index} timed out after 600 s")
+        return
+    if result.returncode != 0:
+        tail = result.stderr.strip().splitlines()[-1:] or ["(no stderr)"]
+        problems.append(f"{doc}: python block #{index} failed: {tail[0]}")
+
+
+def main() -> int:
+    problems: list[str] = []
+    for name in DOCS:
+        doc = REPO_ROOT / name
+        if not doc.exists():
+            problems.append(f"missing documentation file: {name}")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        _check_links(doc, text, problems)
+        _check_inline_paths(doc, text, problems)
+        python_blocks = 0
+        for language, body in _FENCE.findall(text):
+            if language == "bash":
+                _check_bash_block(doc, body, problems)
+            elif language == "python":
+                python_blocks += 1
+                _run_python_block(doc, python_blocks, body, problems)
+        print(f"checked {name}: {python_blocks} python block(s) executed")
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
