@@ -28,6 +28,12 @@ Sub-packages
     Behavioural models of the comparison designs in the paper's Table I.
 ``repro.experiments``
     One driver per paper figure/table; used by the benchmark harness.
+``repro.sweep``
+    Vectorized sweep engine, parallel sharding, on-disk spec cache.
+``repro.api``
+    Unified spec service: typed requests, experiment registry, response
+    cache; served over HTTP by ``repro.serve`` and from the shell by
+    ``repro.cli``.
 """
 
 from repro.core.config import MixerDesign, MixerMode, default_design

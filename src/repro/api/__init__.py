@@ -1,0 +1,43 @@
+"""Unified spec-service API: typed requests, experiment registry, service.
+
+One request shape — :class:`~repro.api.request.SpecRequest` — runs the
+paper's experiments in-process (:class:`~repro.api.service.MixerService`),
+over HTTP (:mod:`repro.serve`) or from the shell (:mod:`repro.cli`), with
+responses bit-identical across all three surfaces and a request-level
+response cache layered above the sweep engine's spec cache.  See
+``docs/api.md`` for the request schema and the endpoint list.
+"""
+
+from repro.api.registry import (
+    ExperimentRegistry,
+    ExperimentSpec,
+    GLOBAL_REGISTRY,
+    default_registry,
+    register_experiment,
+)
+from repro.api.request import (
+    API_VERSION,
+    RequestValidationError,
+    SpecRequest,
+    SpecResponse,
+)
+from repro.api.response_cache import ResponseCache
+from repro.api.serialization import decode, encode, register_payload_type
+from repro.api.service import MixerService
+
+__all__ = [
+    "API_VERSION",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "GLOBAL_REGISTRY",
+    "MixerService",
+    "RequestValidationError",
+    "ResponseCache",
+    "SpecRequest",
+    "SpecResponse",
+    "decode",
+    "default_registry",
+    "encode",
+    "register_experiment",
+    "register_payload_type",
+]

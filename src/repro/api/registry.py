@@ -1,0 +1,159 @@
+"""Declarative registry of the paper's experiments.
+
+Every module under :mod:`repro.experiments` registers its driver here with
+the metadata the service layer needs: the paper artefact it reproduces, the
+runner callable and its default grid parameters, the result type (wired into
+:mod:`repro.api.serialization` for exact round-trips), the text reporter,
+and which execution options (``workers=`` / ``cache=``) the driver accepts.
+The registry is what makes "evaluate this design against the paper's
+artefacts" a single call: :class:`~repro.api.service.MixerService` validates
+a :class:`~repro.api.request.SpecRequest` against an entry and dispatches it
+without per-experiment plumbing.
+
+Experiments self-register at import time (the ``register_experiment`` call
+at the bottom of each driver module), so :func:`default_registry` only has
+to import :mod:`repro.experiments` once to see all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.api.serialization import register_payload_type
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: metadata plus dispatch callables.
+
+    Attributes
+    ----------
+    name:
+        Registry key and wire name (``"fig8"``, ``"table1"``, ...).
+    artefact:
+        The paper artefact the experiment reproduces (for listings).
+    summary:
+        One-line description of what the run computes.
+    runner:
+        ``runner(design, *, workers=..., cache=..., **grid)`` returning the
+        result dataclass; exactly the public ``run_*`` entry point.
+    result_type:
+        The dataclass the runner returns (its name doubles as the result
+        schema identifier on the wire).
+    report:
+        ``format_report(result) -> str``, the driver's text rendering.
+    default_grid:
+        Name -> default for every overridable grid parameter; the resolved
+        grid (defaults merged with request overrides) is part of the
+        response-cache key.
+    accepts_workers / accepts_cache:
+        Whether the runner takes ``workers=`` / ``cache=`` (the waveform
+        benches and circuit-level checks do not).
+    batch_runner:
+        Optional ``batch_runner(designs, *, workers=..., cache=..., **grid)
+        -> dict[label, result]`` evaluating many designs as one design axis
+        through the sweep engine; the service fans batch requests out
+        through it when available.
+    """
+
+    name: str
+    artefact: str
+    summary: str
+    runner: Callable[..., Any]
+    result_type: type
+    report: Callable[[Any], str]
+    default_grid: Mapping[str, Any] = field(default_factory=dict)
+    accepts_workers: bool = True
+    accepts_cache: bool = True
+    batch_runner: Callable[..., Mapping[str, Any]] | None = None
+
+    def describe(self) -> dict:
+        """JSON-ready metadata (what ``GET /v1/experiments`` serves)."""
+        return {
+            "name": self.name,
+            "artefact": self.artefact,
+            "summary": self.summary,
+            "result_schema": self.result_type.__name__,
+            "default_grid": dict(self.default_grid),
+            "accepts_workers": self.accepts_workers,
+            "accepts_cache": self.accepts_cache,
+            "batchable": self.batch_runner is not None,
+        }
+
+
+class ExperimentRegistry:
+    """Name -> :class:`ExperimentSpec` mapping with validation helpers."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        """Add one experiment; re-registering the same name is an error
+        unless the entry is identical (idempotent re-imports are fine)."""
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            if existing == spec:
+                return spec
+            raise ValueError(f"experiment {spec.name!r} already registered")
+        if not spec.name or not spec.name.isidentifier():
+            raise ValueError(f"experiment name {spec.name!r} must be a "
+                             "simple identifier")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ExperimentSpec:
+        """Entry for ``name``; ``KeyError`` names the known experiments."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(f"unknown experiment {name!r}; "
+                           f"known: {self.names()}") from None
+
+    def names(self) -> list[str]:
+        """Registered experiment names, in registration order."""
+        return list(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+
+#: The process-wide registry the experiment modules register into.
+GLOBAL_REGISTRY = ExperimentRegistry()
+
+
+def register_experiment(*, name: str, artefact: str, summary: str,
+                        runner: Callable[..., Any], result_type: type,
+                        report: Callable[[Any], str],
+                        default_grid: Mapping[str, Any] | None = None,
+                        accepts_workers: bool = True,
+                        accepts_cache: bool = True,
+                        batch_runner: Callable[..., Mapping[str, Any]] | None = None,
+                        payload_types: tuple[type, ...] = (),
+                        ) -> ExperimentSpec:
+    """Register one experiment into :data:`GLOBAL_REGISTRY`.
+
+    ``payload_types`` lists the nested dataclasses the result embeds (the
+    result type itself is always registered) so the serialization layer can
+    round-trip the whole object graph.
+    """
+    register_payload_type(result_type, *payload_types)
+    spec = ExperimentSpec(
+        name=name, artefact=artefact, summary=summary, runner=runner,
+        result_type=result_type, report=report,
+        default_grid=dict(default_grid or {}),
+        accepts_workers=accepts_workers, accepts_cache=accepts_cache,
+        batch_runner=batch_runner)
+    return GLOBAL_REGISTRY.register(spec)
+
+
+def default_registry() -> ExperimentRegistry:
+    """The fully populated registry (imports the experiment drivers once)."""
+    import repro.experiments  # noqa: F401  — side effect: registration
+    return GLOBAL_REGISTRY

@@ -1,0 +1,231 @@
+"""The service facade: one entry point for every registered experiment.
+
+:class:`MixerService` is what "serve the paper" means in code: it validates
+:class:`~repro.api.request.SpecRequest` objects against the experiment
+registry, answers repeated requests from a two-tier response cache without
+touching the engine (zero sizing bisections — the acceptance bar from the
+sweep-cache work, lifted to whole requests), dispatches misses to the
+``run_*`` drivers, and fans batch requests over the same design axis out
+through the sweep engine's :class:`~repro.sweep.parallel.ParallelSweepRunner`
+when the experiment supports it.
+
+The in-process, HTTP (:mod:`repro.serve`) and CLI (:mod:`repro.cli`)
+surfaces all run through this one class, so a response is bit-identical no
+matter which door the request came through.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterable, Sequence
+
+from repro.api.registry import (
+    ExperimentRegistry,
+    ExperimentSpec,
+    default_registry,
+)
+from repro.api.request import (
+    RequestValidationError,
+    SOURCE_COMPUTED,
+    SOURCE_DISK,
+    SOURCE_MEMORY,
+    SpecRequest,
+    SpecResponse,
+    build_result_response,
+)
+from repro.api.response_cache import DEFAULT_LRU_SIZE, ResponseCache
+
+
+class MixerService:
+    """Dispatches spec requests through the experiment registry.
+
+    Parameters
+    ----------
+    registry:
+        The experiment registry; defaults to the fully populated global one.
+    response_cache:
+        ``None`` (default) keeps a memory-only LRU; a directory string/path
+        adds the disk tier; an existing :class:`ResponseCache` is used
+        as-is; ``False`` disables response caching entirely.
+    spec_cache:
+        Default ``cache=`` option forwarded to runners that accept it (a
+        request's own ``cache`` field wins).  This is the *engine* cache of
+        solved intermediates, one tier below the response cache.
+    workers:
+        Default ``workers=`` for runners that accept it (a request's own
+        ``workers`` field wins).
+    lru_size:
+        Capacity of the memory tier when the service builds its own cache.
+    """
+
+    def __init__(self, registry: ExperimentRegistry | None = None,
+                 response_cache: ResponseCache | str | bool | None = None,
+                 spec_cache: Any = None,
+                 workers: int | None = None,
+                 lru_size: int = DEFAULT_LRU_SIZE) -> None:
+        self.registry = registry if registry is not None else default_registry()
+        if response_cache is False:
+            self.response_cache: ResponseCache | None = None
+        elif response_cache is None or response_cache is True:
+            self.response_cache = ResponseCache(lru_size=lru_size)
+        elif isinstance(response_cache, ResponseCache):
+            self.response_cache = response_cache
+        else:
+            self.response_cache = ResponseCache(response_cache,
+                                                lru_size=lru_size)
+        self.spec_cache = spec_cache
+        self.workers = workers
+
+    # -- registry surface -----------------------------------------------------
+
+    def experiments(self) -> list[dict]:
+        """JSON-ready metadata for every registered experiment."""
+        return [spec.describe() for spec in self.registry]
+
+    def report(self, response: SpecResponse) -> str:
+        """The driver's text rendering of a response's result."""
+        spec = self._spec_for(response.experiment)
+        return spec.report(response.result)
+
+    def _spec_for(self, experiment: str) -> ExperimentSpec:
+        try:
+            return self.registry.get(experiment)
+        except KeyError as error:
+            raise RequestValidationError(str(error)) from None
+
+    # -- execution ------------------------------------------------------------
+
+    def _run_options(self, request: SpecRequest,
+                     spec: ExperimentSpec) -> dict[str, Any]:
+        """The ``workers=`` / ``cache=`` keywords one runner call gets."""
+        options: dict[str, Any] = {}
+        if spec.accepts_workers:
+            workers = request.workers if request.workers is not None \
+                else self.workers
+            if workers is not None:
+                options["workers"] = workers
+        if spec.accepts_cache:
+            cache = request.cache if request.cache is not None \
+                else self.spec_cache
+            if cache is not None:
+                options["cache"] = cache
+        return options
+
+    def _cached_response(self, key: str) -> SpecResponse | None:
+        if self.response_cache is None:
+            return None
+        hit = self.response_cache.load(key)
+        if hit is None:
+            return None
+        entry, tier = hit
+        try:
+            response = SpecResponse.from_dict(entry)
+        except (KeyError, TypeError, ValueError):
+            return None
+        response.source = SOURCE_MEMORY if tier == "memory" else SOURCE_DISK
+        response.elapsed_s = 0.0
+        return response
+
+    def submit(self, request: SpecRequest) -> SpecResponse:
+        """Answer one request (from cache when possible, computed otherwise)."""
+        spec = self._spec_for(request.experiment)
+        resolved = request.validate(spec)
+        key = request.request_key(spec, resolved_grid=resolved)
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
+        started = time.perf_counter()
+        result = spec.runner(request.design, **resolved,
+                             **self._run_options(request, spec))
+        elapsed = time.perf_counter() - started
+        response = build_result_response(request, spec, result,
+                                         source=SOURCE_COMPUTED,
+                                         elapsed_s=elapsed, request_key=key)
+        self._store(response)
+        return response
+
+    def submit_batch(self, requests: Sequence[SpecRequest] | Iterable[SpecRequest],
+                     workers: int | None = None) -> list[SpecResponse]:
+        """Answer many requests, fanning shared-grid groups over the engine.
+
+        Requests naming the same experiment with the same resolved grid form
+        one group; when the experiment registers a ``batch_runner``, the
+        whole group's designs run as **one design axis** through the sweep
+        engine — sharded across processes by
+        :class:`~repro.sweep.parallel.ParallelSweepRunner` when ``workers``
+        (or the per-request/service default) asks for it — instead of N
+        sequential runs.  Per-design results are bit-identical to individual
+        :meth:`submit` calls either way, so cached and computed members of a
+        batch can mix freely.  Response order matches request order.
+        """
+        batch = list(requests)
+        responses: list[SpecResponse | None] = [None] * len(batch)
+        # (experiment, grid-json, workers, cache) -> [(index, request, key)];
+        # the execution options are part of the group token so a member's
+        # explicit workers=/cache= is honoured, never silently dropped in
+        # favour of another member's.
+        groups: dict[tuple, list[tuple[int, SpecRequest, str]]] = {}
+        for index, request in enumerate(batch):
+            spec = self._spec_for(request.experiment)
+            resolved = request.validate(spec)
+            key = request.request_key(spec, resolved_grid=resolved)
+            cached = self._cached_response(key)
+            if cached is not None:
+                responses[index] = cached
+                continue
+            cache_token = request.cache \
+                if isinstance(request.cache, (bool, str, type(None))) \
+                else id(request.cache)
+            token = (request.experiment, json.dumps(resolved, sort_keys=True),
+                     request.workers, cache_token)
+            groups.setdefault(token, []).append((index, request, key))
+
+        for token, members in groups.items():
+            spec = self.registry.get(token[0])
+            distinct = {request.design.fingerprint()
+                        for _, request, _ in members}
+            if spec.batch_runner is None or len(distinct) < 2:
+                for index, request, _ in members:
+                    responses[index] = self.submit(request)
+                continue
+            for index, response in self._run_group(spec, members, workers):
+                responses[index] = response
+        return [response for response in responses if response is not None]
+
+    def _run_group(self, spec: ExperimentSpec,
+                   members: list[tuple[int, SpecRequest, str]],
+                   workers: int | None) -> list[tuple[int, SpecResponse]]:
+        """One batch_runner call for a same-(experiment, grid, options) group.
+
+        Members share their execution options by construction (options are
+        part of the group token), so the lead request speaks for the group;
+        the batch-level ``workers`` argument, when given, overrides.
+        """
+        lead = members[0][1]
+        resolved = lead.validate(spec)
+        options = self._run_options(lead, spec)
+        group_workers = workers if workers is not None \
+            else options.get("workers")
+        if group_workers is not None:
+            options["workers"] = group_workers
+        designs = {}
+        for _, request, _ in members:
+            designs.setdefault(request.design.fingerprint(), request.design)
+        started = time.perf_counter()
+        results = spec.batch_runner(designs, **resolved, **options)
+        elapsed = time.perf_counter() - started
+        out: list[tuple[int, SpecResponse]] = []
+        for index, request, key in members:
+            result = results[request.design.fingerprint()]
+            response = build_result_response(request, spec, result,
+                                             source=SOURCE_COMPUTED,
+                                             elapsed_s=elapsed,
+                                             request_key=key)
+            self._store(response)
+            out.append((index, response))
+        return out
+
+    def _store(self, response: SpecResponse) -> None:
+        if self.response_cache is not None:
+            self.response_cache.store(response.request_key, response.to_dict())

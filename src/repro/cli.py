@@ -1,0 +1,178 @@
+"""``repro-cli`` — one-shot command over the unified spec service.
+
+The same :class:`~repro.api.request.SpecRequest` the Python API and the
+HTTP server consume, built from shell arguments:
+
+.. code-block:: bash
+
+    python -m repro.cli list
+    python -m repro.cli run fig8 --grid points=64 --report
+    python -m repro.cli run table1 --design my_design.json --json
+    python -m repro.cli run fig9 --url http://127.0.0.1:8337   # via a server
+
+Without ``--url`` the request runs in-process (a service is built for the
+call); with it, the identical JSON payload is POSTed to a running
+``python -m repro.serve`` instance — the response is bit-identical either
+way.  ``tools/repro-cli`` wraps this module as a plain executable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+from repro.api.request import (
+    RequestValidationError,
+    SpecRequest,
+    SpecResponse,
+)
+from repro.api.service import MixerService
+from repro.core.config import MixerDesign
+
+
+def _parse_grid_value(text: str) -> Any:
+    """Shell grid override -> typed value (int, float, JSON or bare string)."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _load_design(path: str | None) -> MixerDesign:
+    """Design record from a JSON file (``-`` reads stdin), or the default."""
+    if path is None:
+        return MixerDesign()
+    text = sys.stdin.read() if path == "-" else Path(path).read_text("utf-8")
+    try:
+        return MixerDesign.from_dict(json.loads(text))
+    except (json.JSONDecodeError, TypeError, ValueError) as error:
+        raise RequestValidationError(f"bad design file {path!r}: {error}") \
+            from None
+
+
+def _build_request(args: argparse.Namespace) -> SpecRequest:
+    grid: dict[str, Any] = {}
+    for override in args.grid or []:
+        name, separator, value = override.partition("=")
+        if not separator or not name:
+            raise RequestValidationError(
+                f"grid overrides look like name=value, got {override!r}")
+        grid[name] = _parse_grid_value(value)
+    return SpecRequest(experiment=args.experiment,
+                       design=_load_design(args.design),
+                       grid=grid, workers=args.workers,
+                       cache=args.spec_cache)
+
+
+def _submit_http(url: str, request: SpecRequest) -> SpecResponse:
+    """POST the request to a running ``repro.serve`` instance."""
+    endpoint = url.rstrip("/") + "/v1/spec"
+    body = json.dumps(request.to_dict()).encode("utf-8")
+    http_request = urllib.request.Request(
+        endpoint, data=body, headers={"Content-Type": "application/json"},
+        method="POST")
+    try:
+        with urllib.request.urlopen(http_request) as http_response:
+            payload = json.loads(http_response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", "replace")
+        try:
+            detail = json.loads(detail).get("error", detail)
+        except json.JSONDecodeError:
+            pass
+        raise RequestValidationError(
+            f"server rejected the request ({error.code}): {detail}") from None
+    except urllib.error.URLError as error:
+        raise RequestValidationError(
+            f"cannot reach {endpoint}: {error.reason}") from None
+    return SpecResponse.from_dict(payload)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    service = MixerService(response_cache=False)
+    entries = service.experiments()
+    if args.json:
+        print(json.dumps({"experiments": entries}, indent=2))
+        return 0
+    width = max(len(entry["name"]) for entry in entries)
+    for entry in entries:
+        batch = " [batch]" if entry["batchable"] else ""
+        print(f"{entry['name']:<{width}}  {entry['artefact']}{batch}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    request = _build_request(args)
+    if args.url:
+        response = _submit_http(args.url, request)
+    else:
+        service = MixerService(spec_cache=args.spec_cache,
+                               workers=args.workers)
+        response = service.submit(request)
+    if args.json:
+        print(json.dumps(response.to_dict(), indent=2))
+    else:
+        service = MixerService(response_cache=False)
+        print(service.report(response))
+        print(f"[{response.experiment} | design {response.design_fingerprint[:12]} "
+              f"| {response.source} | {response.elapsed_s:.2f}s]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.cli`` / ``tools/repro-cli``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="One-shot requests against the paper's spec service.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list the registered experiments")
+    list_parser.add_argument("--json", action="store_true",
+                             help="print the registry metadata as JSON")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = commands.add_parser(
+        "run", help="run one experiment (in-process or via --url)")
+    run_parser.add_argument("experiment",
+                            help="registered experiment name (see 'list')")
+    run_parser.add_argument("--design", default=None, metavar="FILE",
+                            help="JSON design payload ('-' for stdin; "
+                                 "default: the paper's design point)")
+    run_parser.add_argument("--grid", action="append", metavar="NAME=VALUE",
+                            help="override a grid parameter (repeatable)")
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="sweep-engine worker processes")
+    run_parser.add_argument("--spec-cache", default=None, metavar="DIR",
+                            help="on-disk spec cache directory")
+    run_parser.add_argument("--url", default=None,
+                            help="send to a running repro.serve instance "
+                                 "instead of running in-process")
+    run_parser.add_argument("--json", action="store_true",
+                            help="print the full JSON response instead of "
+                                 "the text report")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except RequestValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from repro.devices.technology import Technology, UMC65_LIKE
 from repro.units import ghz, mhz
@@ -213,6 +213,43 @@ class MixerDesign:
         payload = json.dumps(self.canonical_dict(), sort_keys=True,
                              separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        """JSON-ready design payload (the API's wire format for designs).
+
+        Identical content to :meth:`canonical_dict`; the separate name marks
+        the serialization contract: ``to_dict() -> json -> from_dict()``
+        round-trips the record exactly, fingerprint included.
+        """
+        return self.canonical_dict()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MixerDesign":
+        """Rebuild a design record from :meth:`to_dict` output.
+
+        Every design field is a float and the nested technology round-trips
+        through :meth:`Technology.from_dict`, so the rebuilt record compares
+        equal to the original and ``fingerprint()`` is preserved bit-exactly
+        — the property the request-level caches key on.  Unknown keys raise
+        ``ValueError``; missing keys fall back to the defaults so older
+        payloads keep deserializing after a new parameter grows a default.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError("design payload must be a mapping")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown design fields: {unknown}")
+        values: dict = {}
+        for name, value in payload.items():
+            if name == "technology":
+                values[name] = Technology.from_dict(value)
+            else:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise TypeError(f"design field {name!r} must be a number, "
+                                    f"got {type(value).__name__}")
+                values[name] = float(value)
+        return cls(**values)
 
     def with_lo(self, lo_frequency: float) -> "MixerDesign":
         """Copy of the design tuned to a different LO frequency."""

@@ -9,7 +9,7 @@ noise densities land where the paper's design text says they do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,41 @@ class Technology:
     def mid_rail(self) -> float:
         """Common-mode voltage used by the design (VDD / 2, per the paper)."""
         return self.vdd / 2.0
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Every process constant as plain JSON types (field name -> value)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Technology":
+        """Rebuild a technology record from :meth:`to_dict` output.
+
+        The round-trip is exact: ``name`` is a string and every other field a
+        float, both of which JSON preserves bit-for-bit.  Unknown keys raise
+        ``ValueError`` so a payload from a newer schema is never silently
+        truncated into a different process.
+        """
+        if not isinstance(payload, dict):
+            raise TypeError("technology payload must be a mapping")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown technology fields: {unknown}")
+        values: dict = {}
+        for name in payload:
+            value = payload[name]
+            if name == "name":
+                if not isinstance(value, str):
+                    raise TypeError("technology name must be a string")
+                values[name] = value
+            else:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise TypeError(f"technology field {name!r} must be a "
+                                    f"number, got {type(value).__name__}")
+                values[name] = float(value)
+        return cls(**values)
 
 
 #: The default technology instance used throughout the library.

@@ -43,26 +43,48 @@ regression to be reviewed, never silently absorbed.
 To add a new sweep scenario, follow the recipe in :mod:`repro.sweep` —
 :func:`repro.sweep.run_monte_carlo` (re-exported here) is the worked
 example: a random device-parameter spread over a sampled design axis.
+
+Service layer
+-------------
+
+Each driver module also **registers itself** into the experiment registry
+(:mod:`repro.api.registry`) with its paper artefact, default grid, result
+schema and text reporter, so importing this package is what populates
+:func:`repro.api.default_registry`.  The registry is how the unified API
+(:class:`repro.api.MixerService`, ``python -m repro.serve``,
+``python -m repro.cli``) dispatches "evaluate this design against Fig. 8"
+as one typed request; the ``run_*`` functions below stay the thin, direct
+entry points and the service's responses are bit-identical to them.  The
+shared ``design``/``workers``/``cache`` handling lives in
+:mod:`repro.experiments.common`; the sweep-backed drivers additionally
+expose a ``sweep_*`` batch variant evaluating many designs as one design
+axis (``sweep_fig8`` / ``sweep_fig9`` / ``sweep_table1``).
 """
 
-from repro.experiments.fig8_gain_vs_rf import run_fig8, Fig8Result
-from repro.experiments.fig9_nf_vs_if import run_fig9, Fig9Result
+from repro.experiments.fig8_gain_vs_rf import run_fig8, sweep_fig8, Fig8Result
+from repro.experiments.fig9_nf_vs_if import run_fig9, sweep_fig9, Fig9Result
 from repro.experiments.fig10_iip3 import run_fig10, Fig10Result
-from repro.experiments.table1_comparison import run_table1, Table1Result
+from repro.experiments.table1_comparison import (
+    run_table1,
+    sweep_table1,
+    Table1Result,
+)
 from repro.experiments.iip2 import run_iip2, Iip2Result
 from repro.experiments.power_budget import run_power_budget, PowerBudgetResult
 from repro.experiments.tia_response import run_tia_response, TiaResponseResult
 from repro.experiments.ablation import run_ablation, AblationResult
+from repro.experiments.common import resolve_design
 from repro.sweep.montecarlo import run_monte_carlo, MonteCarloResult
 
 __all__ = [
     "run_ablation", "AblationResult",
     "run_monte_carlo", "MonteCarloResult",
-    "run_fig8", "Fig8Result",
-    "run_fig9", "Fig9Result",
+    "run_fig8", "sweep_fig8", "Fig8Result",
+    "run_fig9", "sweep_fig9", "Fig9Result",
     "run_fig10", "Fig10Result",
-    "run_table1", "Table1Result",
+    "run_table1", "sweep_table1", "Table1Result",
     "run_iip2", "Iip2Result",
     "run_power_budget", "PowerBudgetResult",
     "run_tia_response", "TiaResponseResult",
+    "resolve_design",
 ]

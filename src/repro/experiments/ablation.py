@@ -30,11 +30,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
 from repro.core.reconfigurable_mixer import ReconfigurableMixer
 from repro.core.switches import TransmissionGate
 from repro.devices.mosfet import Mosfet
 from repro.devices.technology import fast_corner, slow_corner
+from repro.experiments.common import resolve_design
 
 
 @dataclass
@@ -221,7 +223,7 @@ def run_corner_sweep(design: MixerDesign) -> list[CornerPoint]:
 
 def run_ablation(design: MixerDesign | None = None) -> AblationResult:
     """Run every ablation study."""
-    design = design if design is not None else MixerDesign()
+    design = resolve_design(design)
     return AblationResult(
         degeneration=run_degeneration_ablation(design),
         load_flatness=run_load_flatness_ablation(design),
@@ -250,3 +252,17 @@ def format_report(result: AblationResult) -> str:
                      f"passive gain {point.passive_gain_db:5.1f} dB / "
                      f"IIP3 {point.passive_iip3_dbm:5.1f} dBm")
     return "\n".join(lines)
+
+
+register_experiment(
+    name="ablation",
+    artefact="DESIGN.md ablations — degeneration, TG load, TIA gating, corners",
+    summary="Why-is-it-built-this-way studies of the paper's design choices",
+    runner=run_ablation,
+    result_type=AblationResult,
+    report=format_report,
+    accepts_workers=False,
+    accepts_cache=False,
+    payload_types=(DegenerationAblation, LoadFlatnessAblation,
+                   TiaGatingAblation, CornerPoint),
+)

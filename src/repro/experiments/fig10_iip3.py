@@ -27,10 +27,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
 from repro.core.reconfigurable_mixer import ReconfigurableMixer
+from repro.experiments.common import design_and_runner
 from repro.rf.twotone import TwoToneSource, fit_intercept_point, sweep_two_tone
-from repro.sweep import SpecCache, make_runner
+from repro.sweep import SpecCache
 from repro.units import ghz, mhz
 
 #: Default sampling grid: 10.24 GS/s with 10240 samples gives exact 1 MHz
@@ -111,16 +113,15 @@ def run_fig10(design: MixerDesign | None = None,
     cache skips its sizing bisections (the waveform measurement re-solves
     its own bias chain regardless — it is the independent cross-check).
     """
-    design = design if design is not None else MixerDesign()
+    design, runner = design_and_runner(design, specs=("iip3_dbm",),
+                                       workers=workers, cache=cache)
     if input_powers_dbm is None:
         input_powers_dbm = np.arange(-45.0, -19.0, 2.0)
     powers = np.asarray(input_powers_dbm, dtype=float)
     if powers.size < 4:
         raise ValueError("the intercept fit needs at least 4 swept powers")
 
-    analytic = make_runner(design, specs=("iip3_dbm",), workers=workers,
-                           cache=cache).run(
-        modes=(MixerMode.PASSIVE, MixerMode.ACTIVE))
+    analytic = runner.run(modes=(MixerMode.PASSIVE, MixerMode.ACTIVE))
     passive = _measure_mode(design, MixerMode.PASSIVE, lo_frequency_hz,
                             tone_1_hz, tone_2_hz, powers, sample_rate,
                             num_samples,
@@ -150,3 +151,20 @@ def format_report(result: Fig10Result) -> str:
     lines.append(f"  passive-over-active IIP3 advantage: "
                  f"{result.iip3_gap_db:.1f} dB")
     return "\n".join(lines)
+
+
+register_experiment(
+    name="fig10",
+    artefact="Fig. 10(a)/(b) — two-tone IIP3 of both modes",
+    summary="Waveform-level two-tone intercept construction, both panels",
+    runner=run_fig10,
+    result_type=Fig10Result,
+    report=format_report,
+    default_grid={"lo_frequency_hz": ghz(2.4),
+                  "tone_1_hz": ghz(2.4) + mhz(5.0),
+                  "tone_2_hz": ghz(2.4) + mhz(7.0),
+                  "input_powers_dbm": None,
+                  "sample_rate": DEFAULT_SAMPLE_RATE,
+                  "num_samples": DEFAULT_NUM_SAMPLES},
+    payload_types=(ModeIip3Result,),
+)

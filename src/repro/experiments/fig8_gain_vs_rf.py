@@ -22,11 +22,14 @@ must be an intentional model change, not drift.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
+from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
-from repro.sweep import SpecCache, make_runner
+from repro.experiments.common import design_and_runner, resolve_design
+from repro.sweep import SpecCache
 from repro.units import ghz, mhz
 
 
@@ -76,26 +79,54 @@ def run_fig8(design: MixerDesign | None = None,
     the sweep runs inline either way, but a warm cache still skips the
     sizing bisections.
     """
+    return sweep_fig8({"nominal": resolve_design(design)},
+                      rf_start_hz=rf_start_hz,
+                      rf_stop_hz=rf_stop_hz, points=points,
+                      if_frequency_hz=if_frequency_hz, workers=workers,
+                      cache=cache)["nominal"]
+
+
+def sweep_fig8(designs: Mapping[str, MixerDesign],
+               rf_start_hz: float = ghz(0.3), rf_stop_hz: float = ghz(7.0),
+               points: int = 200, if_frequency_hz: float = mhz(5.0),
+               workers: int | None = None,
+               cache: SpecCache | str | bool | None = None
+               ) -> dict[str, Fig8Result]:
+    """The Fig. 8 sweep for many designs as **one** design axis.
+
+    All designs share the grid and run through a single sweep-engine call,
+    so ``workers=`` shards the whole population across processes; each
+    per-design result is bit-identical to a solo :func:`run_fig8` call (the
+    engine fills every (design, mode) cell independently).  This is the
+    batch adapter :class:`~repro.api.service.MixerService` fans design
+    populations out through.
+    """
     if points < 10:
         raise ValueError("use at least 10 sweep points")
-    design = design if design is not None else MixerDesign()
-    frequencies = np.logspace(np.log10(rf_start_hz), np.log10(rf_stop_hz), points)
-
-    runner = make_runner(design, specs=("conversion_gain_db",),
-                         workers=workers, cache=cache)
+    if not designs:
+        raise ValueError("sweep_fig8 needs at least one design")
+    frequencies = np.logspace(np.log10(rf_start_hz), np.log10(rf_stop_hz),
+                              points)
+    _, runner = design_and_runner(next(iter(designs.values())),
+                                  specs=("conversion_gain_db",),
+                                  workers=workers, cache=cache)
     sweep = runner.run(rf_frequencies=frequencies,
                        if_frequencies=[if_frequency_hz],
-                       modes=(MixerMode.ACTIVE, MixerMode.PASSIVE))
-    _, active_gain = sweep.curve("conversion_gain_db", "rf_frequency_hz",
-                                 mode=MixerMode.ACTIVE)
-    _, passive_gain = sweep.curve("conversion_gain_db", "rf_frequency_hz",
-                                  mode=MixerMode.PASSIVE)
-    return Fig8Result(
-        rf_frequencies_hz=frequencies,
-        active_gain_db=active_gain,
-        passive_gain_db=passive_gain,
-        if_frequency_hz=if_frequency_hz,
-    )
+                       modes=(MixerMode.ACTIVE, MixerMode.PASSIVE),
+                       designs=dict(designs))
+    results: dict[str, Fig8Result] = {}
+    for label in designs:
+        _, active_gain = sweep.curve("conversion_gain_db", "rf_frequency_hz",
+                                     mode=MixerMode.ACTIVE, design=label)
+        _, passive_gain = sweep.curve("conversion_gain_db", "rf_frequency_hz",
+                                      mode=MixerMode.PASSIVE, design=label)
+        results[label] = Fig8Result(
+            rf_frequencies_hz=frequencies,
+            active_gain_db=active_gain,
+            passive_gain_db=passive_gain,
+            if_frequency_hz=if_frequency_hz,
+        )
+    return results
 
 
 def format_report(result: Fig8Result) -> str:
@@ -109,3 +140,16 @@ def format_report(result: Fig8Result) -> str:
             f"gain@2.45GHz {result.gain_at(mode, 2.45e9):5.1f} dB, "
             f"-3 dB band {low / 1e9:.2f}-{high / 1e9:.2f} GHz")
     return "\n".join(lines)
+
+
+register_experiment(
+    name="fig8",
+    artefact="Fig. 8 — conversion gain vs RF frequency",
+    summary="Voltage conversion gain of both modes over the RF band",
+    runner=run_fig8,
+    batch_runner=sweep_fig8,
+    result_type=Fig8Result,
+    report=format_report,
+    default_grid={"rf_start_hz": ghz(0.3), "rf_stop_hz": ghz(7.0),
+                  "points": 200, "if_frequency_hz": mhz(5.0)},
+)

@@ -19,12 +19,15 @@ pinned behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
+from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
+from repro.experiments.common import design_and_runner, resolve_design
 from repro.rf.noise_figure import flicker_corner_from_nf
-from repro.sweep import SpecCache, make_runner
+from repro.sweep import SpecCache
 from repro.units import ghz, khz, mhz
 
 
@@ -68,29 +71,56 @@ def run_fig9(design: MixerDesign | None = None,
     ``workers`` / ``cache`` select the parallel runner and the on-disk spec
     cache, as for every sweep entry point.
     """
+    return sweep_fig9({"nominal": resolve_design(design)},
+                      if_start_hz=if_start_hz, if_stop_hz=if_stop_hz,
+                      points=points, rf_frequency_hz=rf_frequency_hz,
+                      workers=workers, cache=cache)["nominal"]
+
+
+def sweep_fig9(designs: Mapping[str, MixerDesign],
+               if_start_hz: float = khz(10.0), if_stop_hz: float = mhz(100.0),
+               points: int = 200, rf_frequency_hz: float = ghz(2.45),
+               workers: int | None = None,
+               cache: SpecCache | str | bool | None = None
+               ) -> dict[str, Fig9Result]:
+    """The Fig. 9 sweep for many designs as **one** design axis.
+
+    Same contract as :func:`~repro.experiments.fig8_gain_vs_rf.sweep_fig8`:
+    one sweep-engine call over the whole population (``workers=`` shards
+    it), per-design results bit-identical to solo :func:`run_fig9` calls.
+    """
     if points < 10:
         raise ValueError("use at least 10 sweep points")
-    design = design if design is not None else MixerDesign()
-    frequencies = np.logspace(np.log10(if_start_hz), np.log10(if_stop_hz), points)
-
-    runner = make_runner(design, specs=("conversion_gain_db", "noise_figure_db"),
-                         workers=workers, cache=cache)
+    if not designs:
+        raise ValueError("sweep_fig9 needs at least one design")
+    frequencies = np.logspace(np.log10(if_start_hz), np.log10(if_stop_hz),
+                              points)
+    _, runner = design_and_runner(
+        next(iter(designs.values())),
+        specs=("conversion_gain_db", "noise_figure_db"),
+        workers=workers, cache=cache)
     sweep = runner.run(rf_frequencies=[rf_frequency_hz],
                        if_frequencies=frequencies,
-                       modes=(MixerMode.ACTIVE, MixerMode.PASSIVE))
+                       modes=(MixerMode.ACTIVE, MixerMode.PASSIVE),
+                       designs=dict(designs))
 
-    def curve(spec: str, mode: MixerMode) -> np.ndarray:
-        _, series = sweep.curve(spec, "if_frequency_hz", mode=mode)
+    def curve(spec: str, mode: MixerMode, label: str) -> np.ndarray:
+        _, series = sweep.curve(spec, "if_frequency_hz", mode=mode,
+                                design=label)
         return series
 
-    return Fig9Result(
-        if_frequencies_hz=frequencies,
-        active_nf_db=curve("noise_figure_db", MixerMode.ACTIVE),
-        passive_nf_db=curve("noise_figure_db", MixerMode.PASSIVE),
-        active_gain_db=curve("conversion_gain_db", MixerMode.ACTIVE),
-        passive_gain_db=curve("conversion_gain_db", MixerMode.PASSIVE),
-        rf_frequency_hz=rf_frequency_hz,
-    )
+    return {
+        label: Fig9Result(
+            if_frequencies_hz=frequencies,
+            active_nf_db=curve("noise_figure_db", MixerMode.ACTIVE, label),
+            passive_nf_db=curve("noise_figure_db", MixerMode.PASSIVE, label),
+            active_gain_db=curve("conversion_gain_db", MixerMode.ACTIVE, label),
+            passive_gain_db=curve("conversion_gain_db", MixerMode.PASSIVE,
+                                  label),
+            rf_frequency_hz=rf_frequency_hz,
+        )
+        for label in designs
+    }
 
 
 def format_report(result: Fig9Result) -> str:
@@ -103,3 +133,16 @@ def format_report(result: Fig9Result) -> str:
             f"gain@5MHz {result.value_at(mode, 'gain', 5e6):5.1f} dB, "
             f"flicker corner {result.flicker_corner_hz(mode) / 1e3:6.0f} kHz")
     return "\n".join(lines)
+
+
+register_experiment(
+    name="fig9",
+    artefact="Fig. 9 — NF and conversion gain vs IF frequency",
+    summary="DSB noise figure and gain of both modes across the IF band",
+    runner=run_fig9,
+    batch_runner=sweep_fig9,
+    result_type=Fig9Result,
+    report=format_report,
+    default_grid={"if_start_hz": khz(10.0), "if_stop_hz": mhz(100.0),
+                  "points": 200, "rf_frequency_hz": ghz(2.45)},
+)

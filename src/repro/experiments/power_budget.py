@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api.registry import register_experiment
 from repro.core.config import (
     MixerDesign,
     MixerMode,
@@ -22,6 +23,7 @@ from repro.core.config import (
     PAPER_TARGETS_PASSIVE,
 )
 from repro.core.power import PowerBreakdown, PowerBudget
+from repro.experiments.common import resolve_design
 
 
 @dataclass
@@ -52,8 +54,7 @@ class PowerBudgetResult:
 
 def run_power_budget(design: MixerDesign | None = None) -> PowerBudgetResult:
     """Regenerate the per-mode power budget."""
-    design = design if design is not None else MixerDesign()
-    budget = PowerBudget(design)
+    budget = PowerBudget(resolve_design(design))
     return PowerBudgetResult(
         active=budget.breakdown(MixerMode.ACTIVE),
         passive=budget.breakdown(MixerMode.PASSIVE),
@@ -73,3 +74,16 @@ def format_report(result: PowerBudgetResult) -> str:
     lines.append(f"  TIA branch alone: {result.tia_power_mw:.2f} mW "
                  "(switched off in active mode)")
     return "\n".join(lines)
+
+
+register_experiment(
+    name="power_budget",
+    artefact="Section III/IV text — 9.36/9.24 mW power budget",
+    summary="Branch-by-branch supply-power decomposition of both modes",
+    runner=run_power_budget,
+    result_type=PowerBudgetResult,
+    report=format_report,
+    accepts_workers=False,
+    accepts_cache=False,
+    payload_types=(PowerBreakdown,),
+)

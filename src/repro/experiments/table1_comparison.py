@@ -23,7 +23,9 @@ the acceptance record that the reproduction still lands on Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
+from repro.api.registry import register_experiment
 from repro.baselines.published import TABLE_I_ORDER, all_published_baselines
 from repro.core.config import (
     MixerDesign,
@@ -32,7 +34,8 @@ from repro.core.config import (
     PAPER_TARGETS_PASSIVE,
 )
 from repro.core.reconfigurable_mixer import MixerSpecs
-from repro.sweep import ALL_SPECS, SpecCache, make_runner
+from repro.experiments.common import design_and_runner, resolve_design
+from repro.sweep import ALL_SPECS, SpecCache
 from repro.sweep.result import SweepResult
 
 #: Row labels in the order the paper prints them.
@@ -90,10 +93,11 @@ class Table1Result:
         return best_label
 
 
-def _specs_from_sweep(sweep: SweepResult, mode: MixerMode) -> MixerSpecs:
+def _specs_from_sweep(sweep: SweepResult, mode: MixerMode,
+                      design: str = "nominal") -> MixerSpecs:
     """Reassemble a MixerSpecs record from one mode column of a spot sweep."""
     def value(spec: str) -> float:
-        return sweep.value(spec, mode=mode)
+        return sweep.value(spec, mode=mode, design=design)
 
     return MixerSpecs(
         mode=mode,
@@ -118,19 +122,48 @@ def run_table1(design: MixerDesign | None = None,
     cache; the spot sweep has a single design, so ``cache`` is the one that
     pays here (a warm entry skips both modes' sizing bisections).
     """
-    design = design if design is not None else MixerDesign()
-    sweep = make_runner(design, specs=ALL_SPECS, workers=workers,
-                        cache=cache).run(
-        modes=(MixerMode.ACTIVE, MixerMode.PASSIVE))
-    active = _specs_from_sweep(sweep, MixerMode.ACTIVE)
-    passive = _specs_from_sweep(sweep, MixerMode.PASSIVE)
+    return sweep_table1({"nominal": resolve_design(design)},
+                        workers=workers, cache=cache)["nominal"]
 
-    columns: list[dict[str, float | str | None]] = [
-        active.as_table_row(), passive.as_table_row()]
-    columns.extend(baseline.spec.as_table_row()
-                   for baseline in all_published_baselines())
-    return Table1Result(this_work_active=active, this_work_passive=passive,
-                        columns=columns)
+
+def sweep_table1(designs: Mapping[str, MixerDesign],
+                 workers: int | None = None,
+                 cache: SpecCache | str | bool | None = None
+                 ) -> dict[str, Table1Result]:
+    """Regenerate Table I for many designs through shared sweep calls.
+
+    Designs sharing a nominal operating point (LO + IF) run as one design
+    axis per spot grid — the sweep grid is the operating point, so designs
+    tuned to different frequencies are grouped rather than forced onto one
+    grid.  Per-design tables are bit-identical to solo :func:`run_table1`
+    calls; ``workers=`` shards each group across processes.
+    """
+    if not designs:
+        raise ValueError("sweep_table1 needs at least one design")
+    groups: dict[tuple[float, float], dict[str, MixerDesign]] = {}
+    for label, design in designs.items():
+        point = (design.rf_frequency, design.if_frequency)
+        groups.setdefault(point, {})[label] = design
+
+    results: dict[str, Table1Result] = {}
+    for (rf_hz, if_hz), group in groups.items():
+        _, runner = design_and_runner(next(iter(group.values())),
+                                      specs=ALL_SPECS, workers=workers,
+                                      cache=cache)
+        sweep = runner.run(rf_frequencies=[rf_hz], if_frequencies=[if_hz],
+                           modes=(MixerMode.ACTIVE, MixerMode.PASSIVE),
+                           designs=group)
+        for label in group:
+            active = _specs_from_sweep(sweep, MixerMode.ACTIVE, label)
+            passive = _specs_from_sweep(sweep, MixerMode.PASSIVE, label)
+            columns: list[dict[str, float | str | None]] = [
+                active.as_table_row(), passive.as_table_row()]
+            columns.extend(baseline.spec.as_table_row()
+                           for baseline in all_published_baselines())
+            results[label] = Table1Result(this_work_active=active,
+                                          this_work_passive=passive,
+                                          columns=columns)
+    return results
 
 
 def format_report(result: Table1Result) -> str:
@@ -168,3 +201,15 @@ def format_report(result: Table1Result) -> str:
     out = ["Table I — simulation results and comparison", fmt(header)]
     out.extend(fmt(row) for row in rows)
     return "\n".join(out)
+
+
+register_experiment(
+    name="table1",
+    artefact="Table I — comparison with published designs",
+    summary="Every headline spec of both modes plus the reference columns",
+    runner=run_table1,
+    batch_runner=sweep_table1,
+    result_type=Table1Result,
+    report=format_report,
+    payload_types=(MixerSpecs,),
+)

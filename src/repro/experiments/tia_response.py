@@ -33,8 +33,10 @@ from repro.circuit import (
     ac_sweep,
     dc_operating_point,
 )
+from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign
 from repro.core.tia import TransimpedanceAmplifier
+from repro.experiments.common import resolve_design
 from repro.units import khz, mhz
 
 
@@ -80,7 +82,7 @@ def run_tia_response(design: MixerDesign | None = None,
                      f_stop_hz: float = mhz(50.0),
                      points: int = 60) -> TiaResponseResult:
     """Evaluate equation (4) analytically and with the MNA circuit engine."""
-    design = design if design is not None else MixerDesign()
+    design = resolve_design(design)
     tia = TransimpedanceAmplifier(design)
     frequencies = np.logspace(np.log10(f_start_hz), np.log10(f_stop_hz), points)
 
@@ -117,3 +119,17 @@ def format_report(result: TiaResponseResult) -> str:
         f"  analytic vs MNA worst relative error: "
         f"{result.worst_relative_error * 100.0:.2f} %",
     ])
+
+
+register_experiment(
+    name="tia_response",
+    artefact="Equation (4) — TIA closed-loop input impedance",
+    summary="Analytic vs MNA evaluation of the virtual-ground impedance",
+    runner=run_tia_response,
+    result_type=TiaResponseResult,
+    report=format_report,
+    default_grid={"f_start_hz": khz(10.0), "f_stop_hz": mhz(50.0),
+                  "points": 60},
+    accepts_workers=False,
+    accepts_cache=False,
+)

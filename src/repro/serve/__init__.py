@@ -1,0 +1,172 @@
+"""HTTP/JSON serving surface over :class:`~repro.api.service.MixerService`.
+
+``python -m repro.serve`` boots a dependency-free (stdlib ``http.server``)
+threaded JSON server exposing the spec service:
+
+* ``GET  /v1/health``       — liveness probe (``{"status": "ok"}``);
+* ``GET  /v1/experiments``  — registry metadata for every experiment;
+* ``POST /v1/spec``         — one :class:`~repro.api.request.SpecRequest`
+  payload in, one :class:`~repro.api.request.SpecResponse` payload out;
+* ``POST /v1/batch``        — ``{"requests": [...]}`` in, ``{"responses":
+  [...]}`` out, fanned out through :meth:`MixerService.submit_batch`.
+
+The handler is a thin codec: all validation, caching and dispatch live in
+the service, so an HTTP response is bit-identical to the in-process call —
+``json`` round-trips every double exactly (asserted in
+``tests/test_serve.py`` and by the CI serve-smoke job).  Request errors map
+to ``400`` with a JSON body naming the problem; unknown paths to ``404``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api.request import RequestValidationError, SpecRequest
+from repro.api.service import MixerService
+
+#: Upper bound on accepted request bodies (a design payload is ~1 kB; a
+#: thousand-request batch fits comfortably — this only stops abuse).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class SpecRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints onto the shared :class:`MixerService`."""
+
+    server_version = "repro-serve/1"
+    #: Set by :func:`create_server`.
+    service: MixerService
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestValidationError("request body must be JSON")
+        if length > MAX_BODY_BYTES:
+            raise RequestValidationError(
+                f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestValidationError(f"bad JSON body: {error}") from None
+
+    # -- endpoints ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/v1/health":
+            self._send_json(200, {"status": "ok"})
+        elif self.path == "/v1/experiments":
+            self._send_json(200, {"experiments": self.service.experiments()})
+        else:
+            self._send_error(404, f"unknown path {self.path!r}; endpoints: "
+                             "/v1/health /v1/experiments /v1/spec /v1/batch")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/v1/spec":
+                payload = self._read_json_body()
+                request = SpecRequest.from_dict(payload)
+                response = self.service.submit(request)
+                self._send_json(200, response.to_dict())
+            elif self.path == "/v1/batch":
+                payload = self._read_json_body()
+                if not isinstance(payload, dict) \
+                        or not isinstance(payload.get("requests"), list):
+                    raise RequestValidationError(
+                        "batch body must be {\"requests\": [...]}")
+                requests = [SpecRequest.from_dict(entry)
+                            for entry in payload["requests"]]
+                responses = self.service.submit_batch(requests)
+                self._send_json(200, {"responses": [r.to_dict()
+                                                    for r in responses]})
+            else:
+                self._send_error(404, f"unknown path {self.path!r}")
+        except RequestValidationError as error:
+            self._send_error(400, str(error))
+        except Exception as error:  # noqa: BLE001 - surface, don't kill thread
+            self._send_error(500, f"{type(error).__name__}: {error}")
+
+
+def create_server(host: str = "127.0.0.1", port: int = 0,
+                  service: MixerService | None = None,
+                  verbose: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port`` (0 = ephemeral).
+
+    The returned server's ``server_address`` carries the actually bound
+    port; call ``serve_forever()`` (or wrap in a thread for tests).
+    """
+    shared = service if service is not None else MixerService()
+
+    class _Handler(SpecRequestHandler):
+        pass
+
+    _Handler.service = shared
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve_in_thread(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread (test/demo helper)."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.serve``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve the paper's experiments as an HTTP/JSON API.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8337,
+                        help="bind port; 0 picks a free one (default 8337)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="default sweep-engine worker count")
+    parser.add_argument("--spec-cache", default=None, metavar="DIR",
+                        help="on-disk spec cache directory for the engine")
+    parser.add_argument("--response-cache", default=None, metavar="DIR",
+                        help="on-disk response cache directory")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every request to stderr")
+    args = parser.parse_args(argv)
+
+    service = MixerService(
+        response_cache=args.response_cache,
+        spec_cache=args.spec_cache,
+        workers=args.workers,
+    )
+    server = create_server(args.host, args.port, service=service,
+                           verbose=args.verbose)
+    host, port = server.server_address[:2]
+    # The smoke harness parses this line to find an ephemeral port.
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — boot the HTTP/JSON spec server."""
+
+import sys
+
+from repro.serve import main
+
+if __name__ == "__main__":
+    sys.exit(main())

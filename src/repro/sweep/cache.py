@@ -37,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 
 from repro.core.config import MixerDesign, MixerMode
@@ -54,6 +55,23 @@ DISABLE_ENV = "REPRO_SWEEP_CACHE"
 DIRECTORY_ENV = "REPRO_SWEEP_CACHE_DIR"
 
 _DISABLE_VALUES = {"off", "0", "false", "no"}
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Write a JSON payload so readers never observe a partial entry.
+
+    The bytes go to a temp file unique to this process *and thread* (the
+    threaded HTTP server writes cache entries from concurrent handler
+    threads, where a pid-only suffix would race), then move into place with
+    ``os.replace`` — atomic on POSIX.  Concurrent writers of the same entry
+    at worst race to install identical content.  Shared by
+    :class:`SpecCache` and the API layer's response cache.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(
+        f"{path.name}.tmp-{os.getpid()}-{threading.get_ident()}")
+    temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    os.replace(temp, path)
 
 
 def cache_disabled_by_env() -> bool:
@@ -150,28 +168,21 @@ class SpecCache:
 
     def store(self, design: MixerDesign, mode: MixerMode,
               intermediates: SpecIntermediates) -> None:
-        """Persist one solved cell, atomically.
+        """Persist one solved cell, atomically (see :func:`atomic_write_json`).
 
-        The entry is first written to a process-unique temp file and then
-        moved into place with ``os.replace``, so concurrent shards never
-        observe a half-written entry — at worst they race to write identical
-        content.
+        Concurrent shards or server threads never observe a half-written
+        entry — at worst they race to write identical content.
         """
         if intermediates.mode is not mode:
             raise ValueError(
                 f"intermediates are for mode {intermediates.mode.value!r}, "
                 f"not {mode.value!r}")
-        self.directory.mkdir(parents=True, exist_ok=True)
         fingerprint = design.fingerprint()
-        path = self._path(fingerprint, mode)
-        payload = {
+        atomic_write_json(self._path(fingerprint, mode), {
             "cache_version": CACHE_VERSION,
             "design_fingerprint": fingerprint,
             "intermediates": intermediates.to_dict(),
-        }
-        temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-        temp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-        os.replace(temp, path)
+        })
         self.stores += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,33 @@
+"""Shared helpers for the API-layer tests (tests/test_api.py, test_serve.py).
+
+Kept out of ``conftest.py`` because the repo has two conftests (tests/ and
+benchmarks/) and a plain ``import conftest`` would be ambiguous under
+pytest's prepend import mode; the fixtures built on these helpers still
+live in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+from repro.api import SpecRequest
+from repro.core.config import MixerDesign
+
+#: Small grid overrides keeping the full-registry API tests fast in CI.
+SMALL_GRIDS: dict[str, dict] = {
+    "fig8": {"points": 24},
+    "fig9": {"points": 24},
+    "fig10": {"input_powers_dbm": [-45.0, -43.0, -41.0, -39.0, -37.0, -35.0]},
+    "table1": {},
+    "iip2": {"input_powers_dbm": [-45.0, -43.0, -41.0, -39.0, -37.0]},
+    "power_budget": {},
+    "tia_response": {"points": 16},
+    "ablation": {},
+}
+
+EXPERIMENT_NAMES = sorted(SMALL_GRIDS)
+
+
+def small_request(name: str, design: MixerDesign | None = None) -> SpecRequest:
+    """A SpecRequest for ``name`` on the shared small grid."""
+    return SpecRequest(experiment=name,
+                       design=design if design is not None else MixerDesign(),
+                       grid=SMALL_GRIDS[name])

@@ -4,8 +4,37 @@ from __future__ import annotations
 
 import pytest
 
+from api_test_helpers import SMALL_GRIDS
+
+from repro.api import encode
+from repro.api.registry import default_registry
 from repro.core.config import MixerDesign, MixerMode
 from repro.core.reconfigurable_mixer import ReconfigurableMixer
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """The fully populated experiment registry."""
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def direct_payloads(registry):
+    """Encoded direct ``run_*`` results on the small grids, computed once.
+
+    Returned as a callable so each test only pays for the experiments it
+    actually compares against.
+    """
+    cache: dict[str, dict] = {}
+
+    def compute(name: str) -> dict:
+        if name not in cache:
+            spec = registry.get(name)
+            grid = {**spec.default_grid, **SMALL_GRIDS[name]}
+            cache[name] = encode(spec.runner(MixerDesign(), **grid))
+        return cache[name]
+
+    return compute
 
 
 @pytest.fixture(scope="session")

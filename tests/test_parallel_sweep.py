@@ -55,6 +55,36 @@ class TestConcat:
         assert joined.axis("rf_frequency_hz").values == (1e9, 2e9, 3e9)
         np.testing.assert_array_equal(joined.data["gain_db"], [1.0, 2.0, 3.0])
 
+    def test_single_shard_is_identity(self):
+        shard = self._result(["a", "b"], base=7.0)
+        joined = SweepResult.concat([shard])
+        assert joined.axes == shard.axes
+        assert joined.spec_names == shard.spec_names
+        np.testing.assert_array_equal(joined.data["gain_db"],
+                                      shard.data["gain_db"])
+
+    def test_single_shard_accepts_any_iterable(self):
+        joined = SweepResult.concat(iter([self._result(["a"])]))
+        assert joined.axis(DESIGN_AXIS).values == ("a",)
+
+    def test_concat_along_unknown_axis_name(self):
+        with pytest.raises(KeyError, match="no axis named"):
+            SweepResult.concat([self._result(["a"])], axis="if_frequency_hz")
+
+    def test_concat_rejects_different_axis_names(self):
+        other_axes = (SweepAxis.categorical(DESIGN_AXIS, ["z"]),
+                      SweepAxis.numeric("if_frequency_hz", [1e6, 2e6]))
+        other = SweepResult(other_axes, {"gain_db": np.zeros((1, 2))})
+        with pytest.raises(ValueError, match="different axes"):
+            SweepResult.concat([self._result(["a"]), other])
+
+    def test_concat_rejects_different_grid_lengths(self):
+        other_axes = (SweepAxis.categorical(DESIGN_AXIS, ["z"]),
+                      SweepAxis.numeric("rf_frequency_hz", [1e9, 2e9, 3e9]))
+        other = SweepResult(other_axes, {"gain_db": np.zeros((1, 3))})
+        with pytest.raises(ValueError, match="only 'design' may vary"):
+            SweepResult.concat([self._result(["a"]), other])
+
     def test_concat_rejects_empty_and_mismatches(self):
         with pytest.raises(ValueError, match="at least one"):
             SweepResult.concat([])

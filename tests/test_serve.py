@@ -1,0 +1,161 @@
+"""Tests for the HTTP serving surface and the one-shot CLI.
+
+Covers the other half of the acceptance bar: for every registered
+experiment the response served **over HTTP** is bit-identical to the
+direct ``run_*`` call (JSON round-trips every double exactly), plus the
+error paths (400 on bad requests, 404 on unknown paths) and the
+``repro.cli`` command in both in-process and ``--url`` modes.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import encode
+from repro.cli import main as cli_main
+from repro.core.config import MixerDesign
+from repro.serve import create_server, serve_in_thread
+
+from api_test_helpers import EXPERIMENT_NAMES, small_request
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = create_server()
+    thread = serve_in_thread(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestEndpoints:
+    def test_health(self, base_url):
+        assert get_json(base_url + "/v1/health") == {"status": "ok"}
+
+    def test_experiments_listing(self, base_url):
+        payload = get_json(base_url + "/v1/experiments")
+        names = sorted(entry["name"] for entry in payload["experiments"])
+        assert names == EXPERIMENT_NAMES
+
+    def test_unknown_path_is_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(base_url + "/v1/nope")
+        assert excinfo.value.code == 404
+
+    def test_bad_experiment_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(base_url + "/v1/spec", {"experiment": "fig99"})
+        assert excinfo.value.code == 400
+        assert "unknown experiment" in json.loads(excinfo.value.read())["error"]
+
+    def test_malformed_body_is_400(self, base_url):
+        request = urllib.request.Request(
+            base_url + "/v1/spec", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_bad_batch_shape_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(base_url + "/v1/batch", {"request": []})
+        assert excinfo.value.code == 400
+
+
+class TestHttpBitIdentity:
+    @pytest.mark.parametrize("name", EXPERIMENT_NAMES)
+    def test_served_response_matches_direct_run(self, name, base_url,
+                                                direct_payloads):
+        payload = post_json(base_url + "/v1/spec",
+                            small_request(name).to_dict())
+        expected = json.loads(json.dumps(direct_payloads(name)))
+        assert payload["result"] == expected
+        assert payload["result"] == direct_payloads(name)
+        assert payload["design_fingerprint"] == MixerDesign().fingerprint()
+
+    @pytest.mark.parametrize("name", EXPERIMENT_NAMES)
+    def test_repeat_over_http_is_served_from_cache(self, name, base_url):
+        first = post_json(base_url + "/v1/spec",
+                          small_request(name).to_dict())
+        again = post_json(base_url + "/v1/spec",
+                          small_request(name).to_dict())
+        assert again["source"] == "memory-cache"
+        assert again["result"] == first["result"]
+
+    def test_batch_endpoint_matches_singles(self, base_url):
+        designs = [MixerDesign(),
+                   MixerDesign().with_gain_setting(1.05)]
+        requests = [small_request("table1", design).to_dict()
+                    for design in designs]
+        batch = post_json(base_url + "/v1/batch", {"requests": requests})
+        singles = [post_json(base_url + "/v1/spec", request)
+                   for request in requests]
+        assert [r["result"] for r in batch["responses"]] == \
+            [r["result"] for r in singles]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_NAMES:
+            assert name in out
+
+    def test_run_in_process_report(self, capsys):
+        assert cli_main(["run", "power_budget"]) == 0
+        out = capsys.readouterr().out
+        assert "Power budget" in out and "computed" in out
+
+    def test_run_json_output_matches_direct(self, capsys):
+        assert cli_main(["run", "tia_response", "--grid", "points=16",
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.experiments import run_tia_response
+        assert payload["result"] == encode(run_tia_response(points=16))
+
+    def test_run_over_http(self, base_url, capsys):
+        assert cli_main(["run", "power_budget", "--url", base_url]) == 0
+        out = capsys.readouterr().out
+        assert "Power budget" in out
+
+    def test_grid_override_parse_error(self, capsys):
+        assert cli_main(["run", "fig8", "--grid", "points"]) == 2
+        assert "name=value" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert cli_main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_design_file_round_trip(self, tmp_path, capsys):
+        design = MixerDesign().with_gain_setting(1.1)
+        design_file = tmp_path / "design.json"
+        design_file.write_text(json.dumps(design.to_dict()),
+                               encoding="utf-8")
+        assert cli_main(["run", "power_budget", "--design",
+                         str(design_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design_fingerprint"] == design.fingerprint()

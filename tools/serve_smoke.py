@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI smoke test of the HTTP serving surface, end to end as a real process.
+
+Boots ``python -m repro.serve`` on an ephemeral port (a genuine subprocess,
+not an in-process server — this is the deployment artefact CI is vouching
+for), POSTs a Fig. 8 request, and diffs the served JSON against a direct
+:func:`repro.experiments.run_fig8` call.  Any difference — a float, an axis
+label, a schema field — is a failure: the HTTP surface must be bit-identical
+to the in-process API.
+
+Run by the CI ``serve-smoke`` job and by hand::
+
+    python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+POINTS = 48  # enough structure to catch real drift, fast enough for CI
+STARTUP_TIMEOUT_S = 60.0
+
+
+def start_server(env: dict) -> tuple[subprocess.Popen, str]:
+    """Boot ``python -m repro.serve --port 0`` and parse its bound address."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=REPO_ROOT, env=env)
+    assert process.stdout is not None
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            return process, match.group(1)
+    process.kill()
+    raise RuntimeError("server never announced its address")
+
+
+def wait_healthy(base_url: str) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(base_url + "/v1/health",
+                                        timeout=5) as response:
+                if json.loads(response.read()).get("status") == "ok":
+                    return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    raise RuntimeError("server never became healthy")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    sys.path.insert(0, src)
+    from repro.api import SpecRequest, encode
+    from repro.experiments import run_fig8
+
+    process, base_url = start_server(env)
+    try:
+        wait_healthy(base_url)
+        request = SpecRequest(experiment="fig8", grid={"points": POINTS})
+        body = json.dumps(request.to_dict()).encode("utf-8")
+        http_request = urllib.request.Request(
+            base_url + "/v1/spec", data=body,
+            headers={"Content-Type": "application/json"}, method="POST")
+        with urllib.request.urlopen(http_request, timeout=120) as response:
+            served = json.loads(response.read().decode("utf-8"))
+
+        expected = encode(run_fig8(points=POINTS))
+        if served["result"] != expected:
+            print("FAIL: served Fig. 8 payload differs from run_fig8()",
+                  file=sys.stderr)
+            return 1
+        if served["result_schema"] != "Fig8Result":
+            print(f"FAIL: unexpected result_schema "
+                  f"{served['result_schema']!r}", file=sys.stderr)
+            return 1
+        print(f"serve smoke OK: Fig. 8 over HTTP ({POINTS} points) is "
+              f"bit-identical to run_fig8() [source={served['source']}]")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
