@@ -1,0 +1,105 @@
+"""Benchmark: the corner-aware yield optimiser (repro.optimize).
+
+The acceptance gates of the yield-search work:
+
+* a search over a >= 64-design population (16 candidates x 4 corners per
+  iteration) returns the **same best-design fingerprint for any worker
+  count** — the sharded sweep engine must not change the answer;
+* once the on-disk spec cache is warm, a repeat of the same search performs
+  **zero sizing bisections** (asserted via
+  :func:`~repro.core.transconductance.sizing_solve_count`) and returns the
+  bit-identical result — iterations are pure array maths;
+* given real timing (not smoke mode), the warm re-run lands >= 1.5x under
+  the cold run.
+
+The equality and zero-bisection assertions always run; the wall-clock gate
+is skipped in smoke mode (``--benchmark-disable``, the CI configuration).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import record_comparison
+
+from repro.api import encode
+from repro.core.config import MixerMode
+from repro.core.transconductance import sizing_solve_count
+from repro.optimize import default_targets, run_yield_opt
+
+#: 16 candidates x 4 corners = 64 design records per iteration, the
+#: acceptance bar's population floor.  Active-mode-only targets (derived
+#: from the canonical default set) halve the per-record sweep cost without
+#: changing what the gates prove.
+POPULATION = 16
+NUM_SAMPLES = 4
+ITERATIONS = 2
+TARGETS = [target.to_wire() for target in default_targets()
+           if target.mode is MixerMode.ACTIVE]
+SEARCH = dict(population=POPULATION, iterations=ITERATIONS,
+              num_samples=NUM_SAMPLES, targets=TARGETS)
+
+
+def _smoke_mode(request) -> bool:
+    return bool(request.config.getoption("--benchmark-disable"))
+
+
+def test_bench_optimize_worker_equality() -> None:
+    """Any worker count must return the identical search answer."""
+    single = run_yield_opt(**SEARCH)
+    assert POPULATION * NUM_SAMPLES >= 64
+    sharded = run_yield_opt(workers=4, **SEARCH)
+    assert sharded.best_fingerprint() == single.best_fingerprint()
+    assert encode(sharded) == encode(single)
+    record_comparison("yield_opt", "4-worker best fingerprint",
+                      "identical", "identical")
+
+
+def test_bench_optimize_warm_cache_zero_bisections(tmp_path,
+                                                   request) -> None:
+    """Warm-cache gate: a repeated search solves no device sizings at all."""
+    before = sizing_solve_count()
+    start = time.perf_counter()
+    cold = run_yield_opt(cache=str(tmp_path), **SEARCH)
+    cold_time = time.perf_counter() - start
+    cold_solves = sizing_solve_count() - before
+    assert cold_solves > 0
+
+    before = sizing_solve_count()
+    start = time.perf_counter()
+    warm = run_yield_opt(cache=str(tmp_path), **SEARCH)
+    warm_time = time.perf_counter() - start
+    warm_solves = sizing_solve_count() - before
+
+    # The headline guarantee: iterations are array maths once the cache
+    # holds every candidate corner's sizing/bias solution.
+    assert warm_solves == 0, f"warm search still sized {warm_solves} devices"
+    assert encode(warm) == encode(cold)
+    record_comparison("yield_opt", "warm-search sizing bisections",
+                      "0", str(warm_solves))
+
+    if _smoke_mode(request):
+        return  # timing below is meaningless under smoke settings
+    speedup = cold_time / warm_time
+    record_comparison("yield_opt", "warm/cold search speedup",
+                      ">= 1.5x", f"{speedup:.1f}x")
+    assert speedup >= 1.5, (
+        f"warm search only {speedup:.1f}x faster "
+        f"({cold_time * 1e3:.0f} ms cold vs {warm_time * 1e3:.0f} ms warm)")
+
+
+def test_bench_optimize_improves_yield() -> None:
+    """The search must never lose the incumbent — and should gain yield."""
+    result = run_yield_opt(**SEARCH)
+    assert result.best_yield >= result.baseline_yield
+    record_comparison("yield_opt", "baseline -> best yield",
+                      "monotone", f"{result.baseline_yield:.2f} -> "
+                      f"{result.best_yield:.2f}")
+
+
+def test_bench_optimize_warm_search_timing(benchmark, tmp_path) -> None:
+    """Calibrated timing of a warm search (the perf-trajectory datapoint)."""
+    small = dict(population=4, iterations=2, num_samples=4, targets=TARGETS)
+    run_yield_opt(cache=str(tmp_path), **small)  # warm the cache
+    result = benchmark(lambda: run_yield_opt(cache=str(tmp_path), **small))
+    assert result.best_yield >= result.baseline_yield

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import numpy as np
 
 from repro import MixerDesign, MixerMode, ReconfigurableMixer
 from repro.experiments.fig10_iip3 import run_fig10, format_report

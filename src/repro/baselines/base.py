@@ -11,7 +11,7 @@ measurement code on "this work" and on every reference row.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -12,8 +12,7 @@ gain-only reconfiguration fails the linearity-hungry standards.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.baselines.base import BaselineMixer, BaselineSpec
 

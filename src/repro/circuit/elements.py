@@ -15,8 +15,7 @@ never special-case it.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Iterable, Mapping
+from typing import Callable
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
-from dataclasses import asdict, dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 from repro.devices.technology import Technology, UMC65_LIKE
 from repro.units import ghz, mhz

@@ -9,8 +9,6 @@ by changing this resistance (the paper's section II.B).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np

@@ -23,7 +23,7 @@ import enum
 import math
 from dataclasses import dataclass
 
-from repro.devices.mosfet import Mosfet, MosfetPolarity
+from repro.devices.mosfet import Mosfet
 from repro.devices.technology import Technology, UMC65_LIKE
 from repro.units import parallel
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.units import BOLTZMANN
 from repro.devices.technology import Technology, UMC65_LIKE

@@ -10,7 +10,7 @@ floor and the flicker sources set the low-IF corner that Fig. 9 reports.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np

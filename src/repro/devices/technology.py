@@ -9,7 +9,7 @@ noise densities land where the paper's design text says they do.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ function call both here and there.
 | :mod:`repro.experiments.iip2`              | section IV text — IIP2 > 65 dBm |
 | :mod:`repro.experiments.power_budget`      | section III/IV text — power per mode |
 | :mod:`repro.experiments.tia_response`      | equation (4) — TIA input impedance |
+| :mod:`repro.optimize.search`               | Table I targets under process spread — yield optimisation |
 
 Sweep-engine architecture
 -------------------------
@@ -59,6 +60,12 @@ shared ``design``/``workers``/``cache`` handling lives in
 :mod:`repro.experiments.common`; the sweep-backed drivers additionally
 expose a ``sweep_*`` batch variant evaluating many designs as one design
 axis (``sweep_fig8`` / ``sweep_fig9`` / ``sweep_table1``).
+
+The corner-aware yield optimiser (:mod:`repro.optimize`) registers here as
+the ``yield_opt`` experiment: a seeded search over the design knobs for
+maximum Monte-Carlo yield against configurable Table I spec targets —
+the first driver that *designs against* the paper's artefacts instead of
+reproducing one.
 """
 
 from repro.experiments.fig8_gain_vs_rf import run_fig8, sweep_fig8, Fig8Result
@@ -74,6 +81,7 @@ from repro.experiments.power_budget import run_power_budget, PowerBudgetResult
 from repro.experiments.tia_response import run_tia_response, TiaResponseResult
 from repro.experiments.ablation import run_ablation, AblationResult
 from repro.experiments.common import resolve_design
+from repro.optimize.search import run_yield_opt, YieldOptResult
 from repro.sweep.montecarlo import run_monte_carlo, MonteCarloResult
 
 __all__ = [
@@ -86,5 +94,6 @@ __all__ = [
     "run_iip2", "Iip2Result",
     "run_power_budget", "PowerBudgetResult",
     "run_tia_response", "TiaResponseResult",
+    "run_yield_opt", "YieldOptResult",
     "resolve_design",
 ]

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.api.registry import register_experiment
-from repro.baselines.published import TABLE_I_ORDER, all_published_baselines
+from repro.baselines.published import all_published_baselines
 from repro.core.config import (
     MixerDesign,
     MixerMode,

@@ -1,0 +1,50 @@
+"""Corner-aware yield optimisation: design against the paper's figures.
+
+The subsystem that turns the reproduction from "regenerate Table I" into
+"search for the design that still makes Table I under process spread":
+
+* :mod:`repro.optimize.targets` — :class:`SpecTarget` acceptance bounds and
+  the Table I default set;
+* :mod:`repro.optimize.search` — :func:`run_yield_opt`, the seeded
+  shrinking-span search scoring candidate populations through the sweep
+  engine's Monte-Carlo device-spread model;
+* :mod:`repro.optimize.request` — :class:`YieldRequest`, the typed front
+  door over the generic spec-service request.
+
+Registered as the ``yield_opt`` experiment, so the same search runs
+in-process, through :class:`~repro.api.service.MixerService`, over
+``python -m repro.serve`` and from ``tools/repro-cli`` — bit-identical
+across surfaces and worker counts.  See ``docs/optimization.md``.
+"""
+
+from repro.optimize.request import YieldRequest
+from repro.optimize.search import (
+    DEFAULT_KNOBS,
+    EXPERIMENT_NAME,
+    SEARCHABLE_KNOBS,
+    CandidateOutcome,
+    YieldOptResult,
+    format_report,
+    run_yield_opt,
+)
+from repro.optimize.targets import (
+    SpecTarget,
+    default_targets,
+    default_targets_wire,
+    parse_targets,
+)
+
+__all__ = [
+    "CandidateOutcome",
+    "DEFAULT_KNOBS",
+    "EXPERIMENT_NAME",
+    "SEARCHABLE_KNOBS",
+    "SpecTarget",
+    "YieldOptResult",
+    "YieldRequest",
+    "default_targets",
+    "default_targets_wire",
+    "format_report",
+    "parse_targets",
+    "run_yield_opt",
+]

@@ -1,0 +1,80 @@
+"""Typed front door of the ``yield_opt`` experiment.
+
+:class:`YieldRequest` is a convenience layer over the generic
+:class:`~repro.api.request.SpecRequest`: the same search options
+:func:`~repro.optimize.search.run_yield_opt` takes, as typed fields, with
+``None`` meaning "use the registered default" — so an all-defaults
+``YieldRequest`` produces exactly the same request key (and therefore the
+same response-cache entry) as a hand-built ``SpecRequest(experiment=
+"yield_opt")`` or a bare CLI/HTTP call.
+
+.. code-block:: python
+
+    from repro.api import MixerService
+    from repro.optimize import YieldRequest
+
+    response = MixerService().submit(YieldRequest(num_samples=8,
+                                                  population=4,
+                                                  iterations=2)
+                                     .to_spec_request())
+    print(response.result.best_design.to_dict())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.api.request import SpecRequest
+from repro.core.config import MixerDesign
+from repro.optimize.search import EXPERIMENT_NAME
+from repro.optimize.targets import SpecTarget
+
+
+@dataclass(frozen=True)
+class YieldRequest:
+    """One "find the highest-yield design around this record" call.
+
+    Every ``None`` field is omitted from the request grid and resolves to
+    the experiment's registered default, keeping the request key identical
+    across surfaces regardless of how the defaults were spelled.
+    """
+
+    design: MixerDesign | None = None
+    targets: Sequence[SpecTarget | Sequence] | None = None
+    knobs: Sequence[str] | None = None
+    population: int | None = None
+    iterations: int | None = None
+    num_samples: int | None = None
+    seed: int | None = None
+    search_span: float | None = None
+    shrink: float | None = None
+    workers: int | None = None
+    cache: Any = None
+
+    def to_spec_request(self) -> SpecRequest:
+        """The equivalent generic :class:`SpecRequest` (the wire unit)."""
+        grid: dict[str, Any] = {}
+        if self.targets is not None:
+            grid["targets"] = [
+                entry.to_wire() if isinstance(entry, SpecTarget)
+                else list(entry)
+                for entry in self.targets
+            ]
+        if self.knobs is not None:
+            grid["knobs"] = [str(knob) for knob in self.knobs]
+        for name in ("population", "iterations", "num_samples", "seed"):
+            value = getattr(self, name)
+            if value is not None:
+                grid[name] = int(value)
+        for name in ("search_span", "shrink"):
+            value = getattr(self, name)
+            if value is not None:
+                grid[name] = float(value)
+        return SpecRequest(
+            experiment=EXPERIMENT_NAME,
+            design=self.design if self.design is not None else MixerDesign(),
+            grid=grid,
+            workers=self.workers,
+            cache=self.cache,
+        )

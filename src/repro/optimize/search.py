@@ -1,0 +1,382 @@
+"""Corner-aware yield optimisation over the mixer's design knobs.
+
+:func:`run_yield_opt` searches the design space around a starting
+:class:`~repro.core.config.MixerDesign` for the record with the highest
+**yield**: the fraction of Monte-Carlo device-spread corners
+(:func:`~repro.sweep.montecarlo.sample_design`, the seeded 65 nm local +
+global variation model) that pass every configured
+:class:`~repro.optimize.targets.SpecTarget` at once.  The default targets
+are the paper's Table I numbers with margins
+(:func:`~repro.optimize.targets.default_targets`), so the search answer is
+"the design that still makes Table I when the process moves".
+
+The search is a seeded, shrinking-span pattern search:
+
+1. each iteration proposes ``population`` candidates by perturbing the
+   current centre's knobs log-normally (span ``search_span``, shrinking by
+   ``shrink`` each iteration; iteration 0 scores the incoming design itself
+   as candidate 0 — the baseline);
+2. every candidate's ``num_samples`` Monte-Carlo corners are evaluated as
+   **one design axis** through the sweep engine
+   (:func:`repro.sweep.make_runner`), so ``workers=`` shards the whole
+   population x samples grid across processes and ``cache=`` persists every
+   sizing/bias solution — a re-run of the same search is pure array maths
+   with **zero sizing bisections** (gated in
+   ``benchmarks/test_bench_optimize.py``);
+3. the best candidate (strictly higher yield; ties keep the incumbent)
+   becomes the next centre.
+
+Determinism: proposals and corners draw from per-(iteration, candidate)
+``numpy`` seed sequences, the sweep engine is bit-identical for any worker
+count, and selection is index-stable — so the same seed and targets return
+the same best-design ``fingerprint()`` on every surface and worker count
+(asserted in ``tests/test_optimize.py``).
+
+Registered as the ``yield_opt`` experiment, so the same search runs through
+:class:`~repro.api.service.MixerService`, ``python -m repro.serve`` and
+``python -m repro.cli`` — see :class:`~repro.optimize.request.YieldRequest`
+for the typed front door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.api.registry import register_experiment
+from repro.core.config import MixerDesign, MixerMode
+from repro.devices.technology import Technology
+from repro.optimize.targets import (
+    SpecTarget,
+    default_targets_wire,
+    parse_targets,
+)
+from repro.sweep import SpecCache
+from repro.sweep.montecarlo import DeviceSpread, sample_design
+from repro.sweep.runner import ALL_SPECS
+
+#: Name under which the optimiser registers in the experiment registry.
+EXPERIMENT_NAME = "yield_opt"
+
+#: Design knobs the optimiser may move, in canonical (perturbation) order:
+#: transconductor gm target and bias, the two gain-setting resistances, the
+#: passive-path degeneration, and the quad device width — the W/L, bias and
+#: load levers the paper's section III sizes by hand.
+DEFAULT_KNOBS = (
+    "tca_gm",
+    "tca_bias_current",
+    "load_resistance",
+    "feedback_resistance",
+    "degeneration_resistance",
+    "quad_switch_width",
+)
+
+#: Every knob the optimiser accepts: positive multiplicative design scalars.
+#: Frequencies and technology constants are deliberately excluded — the
+#: operating point is part of the question, and process constants are the
+#: *spread*, not the design.
+SEARCHABLE_KNOBS = frozenset(DEFAULT_KNOBS) | frozenset({
+    "active_core_current",
+    "lo_chain_current",
+    "tia_supply_current",
+    "quad_switch_length",
+    "feedback_capacitance",
+    "load_capacitance",
+})
+
+#: Default seed — the paper's publication date, like the Monte-Carlo module.
+DEFAULT_SEED = 20150901
+
+#: Candidate label pattern (design-axis labels must be unique).
+_CANDIDATE_LABEL = "i{iteration:02d}-c{candidate:02d}"
+
+
+@dataclass
+class CandidateOutcome:
+    """Score card of one evaluated candidate design."""
+
+    label: str
+    design_fingerprint: str
+    overall_yield: float
+    spec_yields: dict[str, float]
+
+
+@dataclass
+class YieldOptResult:
+    """The optimiser's answer: the best design and how the search got there."""
+
+    best_design: MixerDesign
+    best_yield: float
+    best_spec_yields: dict[str, float]
+    best_label: str
+    best_iteration: int
+    baseline_yield: float
+    initial_design: MixerDesign
+    history: np.ndarray
+    targets: list[SpecTarget]
+    knobs: list[str]
+    population: int
+    iterations: int
+    num_samples: int
+    seed: int
+    evaluations: int
+    candidates: list[CandidateOutcome]
+
+    def best_fingerprint(self) -> str:
+        """Stable content hash of the winning design record."""
+        return self.best_design.fingerprint()
+
+    def improvement(self) -> float:
+        """Yield gained over the incoming design's baseline."""
+        return self.best_yield - self.baseline_yield
+
+    def knob_shifts(self) -> dict[str, float]:
+        """Fractional change of every searched knob, best vs initial."""
+        return {
+            knob: getattr(self.best_design, knob)
+            / getattr(self.initial_design, knob) - 1.0
+            for knob in self.knobs
+        }
+
+
+def _validate_knobs(knobs: Sequence[str] | None) -> tuple[str, ...]:
+    if knobs is None:
+        return DEFAULT_KNOBS
+    resolved = tuple(str(knob) for knob in knobs)
+    if not resolved:
+        raise ValueError("need at least one design knob to search")
+    unknown = sorted(set(resolved) - SEARCHABLE_KNOBS)
+    if unknown:
+        raise ValueError(f"unsearchable knobs {unknown}; "
+                         f"choose from {sorted(SEARCHABLE_KNOBS)}")
+    if len(set(resolved)) != len(resolved):
+        raise ValueError("duplicate knobs in the search list")
+    return resolved
+
+
+def _perturb(center: MixerDesign, knobs: Sequence[str], span: float,
+             rng: np.random.Generator) -> MixerDesign:
+    """One candidate: every knob scaled log-normally around ``center``.
+
+    Log-normal factors keep every knob strictly positive and make a +x%
+    pull as likely as a -x% one — the same convention the Monte-Carlo
+    spread model uses for its multiplicative parameters.
+    """
+    changes = {
+        knob: getattr(center, knob) * float(np.exp(rng.normal(0.0, span)))
+        for knob in knobs
+    }
+    return replace(center, **changes)
+
+
+def run_yield_opt(design: MixerDesign | None = None,
+                  targets: Sequence | None = None,
+                  knobs: Sequence[str] | None = None,
+                  population: int = 8, iterations: int = 3,
+                  num_samples: int = 16, seed: int = DEFAULT_SEED,
+                  search_span: float = 0.12, shrink: float = 0.5,
+                  workers: int | None = None,
+                  cache: SpecCache | str | bool | None = None
+                  ) -> YieldOptResult:
+    """Search the design knobs for maximum yield against spec targets.
+
+    Parameters
+    ----------
+    design:
+        Starting design record (the paper's design point by default); it is
+        scored as iteration 0's candidate 0, so ``baseline_yield`` is always
+        the incoming design's own yield.
+    targets:
+        Acceptance bounds — :class:`SpecTarget` objects or their wire form
+        ``[spec, mode, min, max]``; ``None`` selects the Table I defaults.
+    knobs:
+        Design parameters the search may move (subset of
+        :data:`SEARCHABLE_KNOBS`); ``None`` selects :data:`DEFAULT_KNOBS`.
+    population / iterations / num_samples:
+        Candidates per iteration, search iterations, and Monte-Carlo corners
+        per candidate.  Every iteration evaluates ``population *
+        num_samples`` design records as one sweep-engine design axis.
+    seed:
+        Seed of every random draw (proposals and corners); same seed, same
+        targets, same knobs => bit-identical result on any worker count.
+    search_span:
+        1-sigma log-space width of the knob perturbations at iteration 0.
+    shrink:
+        Factor applied to the span after each iteration (0 < shrink <= 1);
+        the search narrows around the incumbent as it converges.
+    workers / cache:
+        Sweep-engine options: process count for the sharded runner and the
+        on-disk :class:`~repro.sweep.cache.SpecCache` of solved cells.
+    """
+    target_list = list(parse_targets(targets))
+    knob_list = _validate_knobs(knobs)
+    if population < 2:
+        raise ValueError("population must be at least 2 (the centre plus "
+                         "at least one perturbed candidate)")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if num_samples < 2:
+        raise ValueError("need at least 2 Monte-Carlo samples per candidate")
+    if search_span <= 0:
+        raise ValueError("search_span must be positive")
+    if not 0 < shrink <= 1:
+        raise ValueError("shrink must be in (0, 1]")
+    seed = int(seed)
+
+    # Specs/modes actually demanded by the targets, in canonical order, so
+    # the sweep never solves more than the score needs.
+    specs = tuple(spec for spec in ALL_SPECS
+                  if any(t.spec == spec for t in target_list))
+    modes = tuple(mode for mode in (MixerMode.ACTIVE, MixerMode.PASSIVE)
+                  if any(t.mode is mode for t in target_list))
+    # Imported lazily: repro.experiments re-exports this module, so a
+    # module-level import of the experiments package would be circular when
+    # repro.optimize is imported first.
+    from repro.experiments.common import design_and_runner
+    base, runner = design_and_runner(design, specs=specs, workers=workers,
+                                     cache=cache)
+    spread = DeviceSpread()
+
+    best_design = base
+    best_yield = -1.0
+    best_spec_yields: dict[str, float] = {}
+    best_label = ""
+    best_iteration = 0
+    baseline_yield = 0.0
+    history: list[float] = []
+    outcomes: list[CandidateOutcome] = []
+    evaluations = 0
+
+    center = base
+    span = float(search_span)
+    for iteration in range(iterations):
+        candidates: list[MixerDesign] = []
+        for index in range(population):
+            if iteration == 0 and index == 0:
+                candidates.append(center)  # score the incoming design as-is
+                continue
+            rng = np.random.default_rng([seed, iteration, index, 0])
+            candidates.append(_perturb(center, knob_list, span, rng))
+
+        # The whole population's corners as ONE design axis: this is what
+        # makes the search affordable — and shardable across processes.
+        corner_designs: dict[str, MixerDesign] = {}
+        for index, candidate in enumerate(candidates):
+            rng = np.random.default_rng([seed, iteration, index, 1])
+            for sample in range(num_samples):
+                label = (_CANDIDATE_LABEL.format(iteration=iteration,
+                                                 candidate=index)
+                         + f"-s{sample:03d}")
+                corner_designs[label] = sample_design(candidate, rng, spread,
+                                                      label)
+        sweep = runner.run(rf_frequencies=[base.rf_frequency],
+                           if_frequencies=[base.if_frequency],
+                           modes=modes, designs=corner_designs)
+        evaluations += population * num_samples
+
+        # Score: pass masks per target, AND-ed into the overall yield.
+        shape = (population, num_samples)
+        passing = np.ones(shape, dtype=bool)
+        per_target: dict[str, np.ndarray] = {}
+        for target in target_list:
+            values = sweep.values(target.spec, mode=target.mode)
+            mask = target.passes(values.reshape(shape))
+            per_target[target.key] = mask
+            passing &= mask
+        yields = passing.mean(axis=1)
+
+        for index, candidate in enumerate(candidates):
+            outcomes.append(CandidateOutcome(
+                label=_CANDIDATE_LABEL.format(iteration=iteration,
+                                              candidate=index),
+                design_fingerprint=candidate.fingerprint(),
+                overall_yield=float(yields[index]),
+                spec_yields={key: float(mask[index].mean())
+                             for key, mask in per_target.items()},
+            ))
+        if iteration == 0:
+            baseline_yield = float(yields[0])
+
+        champion = int(np.argmax(yields))  # first index wins ties
+        if float(yields[champion]) > best_yield:
+            best_yield = float(yields[champion])
+            best_design = candidates[champion]
+            best_spec_yields = {key: float(mask[champion].mean())
+                                for key, mask in per_target.items()}
+            best_label = _CANDIDATE_LABEL.format(iteration=iteration,
+                                                 candidate=champion)
+            best_iteration = iteration
+        history.append(best_yield)
+
+        center = best_design
+        span *= shrink
+
+    return YieldOptResult(
+        best_design=best_design,
+        best_yield=best_yield,
+        best_spec_yields=best_spec_yields,
+        best_label=best_label,
+        best_iteration=best_iteration,
+        baseline_yield=baseline_yield,
+        initial_design=base,
+        history=np.asarray(history, dtype=float),
+        targets=target_list,
+        knobs=list(knob_list),
+        population=population,
+        iterations=iterations,
+        num_samples=num_samples,
+        seed=seed,
+        evaluations=evaluations,
+        candidates=outcomes,
+    )
+
+
+def format_report(result: YieldOptResult) -> str:
+    """Text rendering of a yield search (targets, breakdown, knob shifts)."""
+    lines = [
+        f"Corner-aware yield optimisation — {result.population} candidates "
+        f"x {result.iterations} iterations, {result.num_samples} corners "
+        f"each (seed {result.seed})"
+    ]
+    width = max(len(target.describe()) for target in result.targets)
+    for target in result.targets:
+        lines.append(f"  {target.describe():<{width}}  best-design yield "
+                     f"{result.best_spec_yields[target.key]:6.1%}")
+    trail = " -> ".join(f"{value:.1%}" for value in result.history)
+    lines.append(f"  best-so-far by iteration: {trail}")
+    lines.append(
+        f"  overall: baseline {result.baseline_yield:.1%} -> best "
+        f"{result.best_yield:.1%} ({result.improvement():+.1%}) at "
+        f"{result.best_label} [{result.evaluations} corner evaluations]")
+    shifts = ", ".join(f"{knob} {shift:+.1%}"
+                       for knob, shift in result.knob_shifts().items())
+    lines.append(f"  knob shifts vs start: {shifts}")
+    return "\n".join(lines)
+
+
+def _default_grid() -> Mapping[str, object]:
+    return {
+        "targets": default_targets_wire(),
+        "knobs": list(DEFAULT_KNOBS),
+        "population": 8,
+        "iterations": 3,
+        "num_samples": 16,
+        "seed": DEFAULT_SEED,
+        "search_span": 0.12,
+        "shrink": 0.5,
+    }
+
+
+register_experiment(
+    name=EXPERIMENT_NAME,
+    artefact="Table I targets under process spread — yield optimisation",
+    summary="Search the design knobs for maximum Monte-Carlo yield "
+            "against configurable Table I spec targets",
+    runner=run_yield_opt,
+    result_type=YieldOptResult,
+    report=format_report,
+    default_grid=_default_grid(),
+    payload_types=(CandidateOutcome, SpecTarget, MixerDesign, Technology),
+)

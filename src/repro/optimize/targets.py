@@ -1,0 +1,159 @@
+"""Spec targets the yield optimiser scores candidate designs against.
+
+A :class:`SpecTarget` is one acceptance bound on one spec in one mode —
+"active-mode conversion gain must stay at or above 28.9 dB", "passive-mode
+power must stay at or below 9.7 mW".  A set of targets turns a Monte-Carlo
+spec distribution into a **yield**: the fraction of sampled corners passing
+every bound at once.
+
+:func:`default_targets` derives the default set from the paper's Table I
+numbers (:data:`~repro.core.config.PAPER_TARGETS_ACTIVE` /
+:data:`~repro.core.config.PAPER_TARGETS_PASSIVE`) with margins sized against
+the 65 nm device-spread model of :mod:`repro.sweep.montecarlo`, so the
+nominal design yields well below 100 % — there is headroom for the
+optimiser to win.
+
+Targets travel the API as plain JSON arrays (``[spec, mode, min, max]``
+with ``null`` for an open bound) so a ``yield_opt`` request is expressible
+from any surface — Python, HTTP or the CLI ``--grid targets=...`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import (
+    MixerMode,
+    PAPER_TARGETS_ACTIVE,
+    PAPER_TARGETS_PASSIVE,
+)
+from repro.sweep.runner import ALL_SPECS
+
+
+@dataclass(frozen=True)
+class SpecTarget:
+    """One acceptance bound: ``minimum <= spec(mode) <= maximum``.
+
+    Either bound may be ``None`` (open); at least one must be given.  The
+    bounds are inclusive, matching
+    :meth:`~repro.sweep.montecarlo.MonteCarloResult.yield_fraction`.
+    """
+
+    spec: str
+    mode: MixerMode
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.spec not in ALL_SPECS:
+            raise ValueError(
+                f"unknown spec {self.spec!r}; choose from {ALL_SPECS}")
+        if not isinstance(self.mode, MixerMode):
+            raise TypeError("mode must be a MixerMode member")
+        if self.minimum is None and self.maximum is None:
+            raise ValueError(
+                f"target on {self.spec!r} needs a minimum and/or a maximum")
+        if (self.minimum is not None and self.maximum is not None
+                and self.minimum > self.maximum):
+            raise ValueError(
+                f"target on {self.spec!r} has minimum > maximum")
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used in per-spec yield breakdowns."""
+        return f"{self.mode.value}:{self.spec}"
+
+    def passes(self, values: np.ndarray) -> np.ndarray:
+        """Boolean pass mask of ``values`` against this target's bounds."""
+        passing = np.ones(np.shape(values), dtype=bool)
+        if self.minimum is not None:
+            passing &= np.asarray(values) >= self.minimum
+        if self.maximum is not None:
+            passing &= np.asarray(values) <= self.maximum
+        return passing
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``active:iip3_dbm >= -12.40``."""
+        if self.maximum is None:
+            return f"{self.key} >= {self.minimum:.2f}"
+        if self.minimum is None:
+            return f"{self.key} <= {self.maximum:.2f}"
+        return f"{self.minimum:.2f} <= {self.key} <= {self.maximum:.2f}"
+
+    # -- wire format ----------------------------------------------------------
+
+    def to_wire(self) -> list:
+        """JSON-array form: ``[spec, mode, minimum, maximum]``."""
+        return [self.spec, self.mode.value, self.minimum, self.maximum]
+
+    @classmethod
+    def from_wire(cls, payload: Sequence) -> "SpecTarget":
+        """Rebuild a target from :meth:`to_wire` output (or hand-written JSON)."""
+        if isinstance(payload, SpecTarget):
+            return payload
+        if not isinstance(payload, (list, tuple)) or len(payload) != 4:
+            raise ValueError(
+                "a wire target is [spec, mode, minimum, maximum], got "
+                f"{payload!r}")
+        spec, mode, minimum, maximum = payload
+        return cls(
+            spec=str(spec),
+            mode=MixerMode(mode) if not isinstance(mode, MixerMode) else mode,
+            minimum=None if minimum is None else float(minimum),
+            maximum=None if maximum is None else float(maximum),
+        )
+
+
+#: Margins applied to the paper's Table I numbers by :func:`default_targets`.
+#: Sized against the default :class:`~repro.sweep.montecarlo.DeviceSpread`
+#: (1-2 sigma of the corresponding spec distribution), so the nominal
+#: design passes most — not all — sampled corners.
+GAIN_MARGIN_DB = 0.3
+NF_MARGIN_DB = 0.25
+IIP3_MARGIN_DBM = 0.5
+POWER_MARGIN_MW = 0.5
+
+
+def default_targets() -> tuple[SpecTarget, ...]:
+    """The default Table I target set (both modes, margins applied)."""
+    targets: list[SpecTarget] = []
+    for paper in (PAPER_TARGETS_ACTIVE, PAPER_TARGETS_PASSIVE):
+        targets.extend([
+            SpecTarget("conversion_gain_db", paper.mode,
+                       minimum=paper.conversion_gain_db - GAIN_MARGIN_DB),
+            SpecTarget("noise_figure_db", paper.mode,
+                       maximum=paper.noise_figure_db + NF_MARGIN_DB),
+            SpecTarget("iip3_dbm", paper.mode,
+                       minimum=paper.iip3_dbm - IIP3_MARGIN_DBM),
+            SpecTarget("power_mw", paper.mode,
+                       maximum=paper.power_mw + POWER_MARGIN_MW),
+        ])
+    return tuple(targets)
+
+
+def default_targets_wire() -> list[list]:
+    """:func:`default_targets` in wire form (the registry's default grid)."""
+    return [target.to_wire() for target in default_targets()]
+
+
+def parse_targets(targets: Sequence | None) -> tuple[SpecTarget, ...]:
+    """Normalise a target list (``SpecTarget`` objects and/or wire arrays).
+
+    ``None`` selects :func:`default_targets`.  Duplicate keys (same spec and
+    mode) are rejected — a duplicate is always a mistaken request, and the
+    per-spec yield breakdown needs one entry per key.
+    """
+    if targets is None:
+        return default_targets()
+    parsed = tuple(SpecTarget.from_wire(entry) for entry in targets)
+    if not parsed:
+        raise ValueError("need at least one spec target")
+    seen: set[str] = set()
+    for target in parsed:
+        if target.key in seen:
+            raise ValueError(f"duplicate target for {target.key!r}")
+        seen.add(target.key)
+    return parsed

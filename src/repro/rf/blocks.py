@@ -19,7 +19,7 @@ IIP3.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -29,7 +29,6 @@ from repro.units import (
     vpeak_from_dbm,
     dbm_from_vpeak,
     voltage_ratio_from_db,
-    db_from_voltage_ratio,
     power_ratio_from_db,
 )
 

@@ -9,9 +9,8 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 
-from repro.units import REFERENCE_IMPEDANCE, dbm_from_vpeak, watts_from_dbm
+from repro.units import REFERENCE_IMPEDANCE
 
 
 def reflection_coefficient(load_impedance: complex,

@@ -15,7 +15,6 @@ and intermodulation tone powers off the output spectrum and either
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 

@@ -9,9 +9,19 @@ live in ``tests/conftest.py``.
 from __future__ import annotations
 
 from repro.api import SpecRequest
-from repro.core.config import MixerDesign
+from repro.core.config import MixerDesign, MixerMode
+from repro.optimize import default_targets
+
+#: Active-mode-only Table I targets in wire form, derived from the
+#: canonical default set so the numbers cannot drift from
+#: repro.optimize.targets (benchmarks/test_bench_optimize.py and
+#: tools/serve_smoke.py derive theirs the same way).
+ACTIVE_TARGETS = [target.to_wire() for target in default_targets()
+                  if target.mode is MixerMode.ACTIVE]
 
 #: Small grid overrides keeping the full-registry API tests fast in CI.
+#: The yield_opt entry restricts the targets to active-mode bounds (halving
+#: the modes the sweep must solve) on a 3-candidate, 2-iteration search.
 SMALL_GRIDS: dict[str, dict] = {
     "fig8": {"points": 24},
     "fig9": {"points": 24},
@@ -21,6 +31,12 @@ SMALL_GRIDS: dict[str, dict] = {
     "power_budget": {},
     "tia_response": {"points": 16},
     "ablation": {},
+    "yield_opt": {
+        "population": 3,
+        "iterations": 2,
+        "num_samples": 4,
+        "targets": ACTIVE_TARGETS,
+    },
 }
 
 EXPERIMENT_NAMES = sorted(SMALL_GRIDS)

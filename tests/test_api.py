@@ -41,7 +41,7 @@ def service():
 
 
 class TestRegistry:
-    def test_all_eight_experiments_registered(self, registry):
+    def test_all_nine_experiments_registered(self, registry):
         assert sorted(registry.names()) == EXPERIMENT_NAMES
 
     def test_describe_is_json_ready(self, registry):

@@ -7,7 +7,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.config import MixerDesign, MixerMode
+from repro.core.config import MixerMode
 from repro.core.load import TransmissionGateLoad
 from repro.core.power import PowerBudget
 from repro.core.switches import NmosSwitch, PmosSwitch, SwitchState, TransmissionGate

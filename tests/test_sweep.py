@@ -7,7 +7,7 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.core.config import MixerDesign, MixerMode
+from repro.core.config import MixerMode
 from repro.sweep import (
     ALL_SPECS,
     DeviceSpread,

@@ -29,7 +29,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOCS = ["README.md", "docs/architecture.md", "docs/api.md"]
+DOCS = ["README.md", "docs/architecture.md", "docs/api.md",
+        "docs/optimization.md", "docs/benchmarks.md"]
 
 #: Markdown links: [text](target) — external schemes and anchors are skipped.
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)[^)]*\)")

@@ -3,10 +3,19 @@
 
 Boots ``python -m repro.serve`` on an ephemeral port (a genuine subprocess,
 not an in-process server — this is the deployment artefact CI is vouching
-for), POSTs a Fig. 8 request, and diffs the served JSON against a direct
-:func:`repro.experiments.run_fig8` call.  Any difference — a float, an axis
-label, a schema field — is a failure: the HTTP surface must be bit-identical
-to the in-process API.
+for) and diffs the served JSON against the in-process API across three
+request shapes:
+
+* ``POST /v1/spec`` with a Fig. 8 request vs a direct
+  :func:`repro.experiments.run_fig8` call;
+* ``POST /v1/batch`` with a three-design population vs per-design
+  :func:`repro.experiments.run_table1` calls (the batch fan-out through the
+  sweep engine must not change a single double);
+* ``POST /v1/spec`` with a small ``yield_opt`` search vs a direct
+  :func:`repro.optimize.run_yield_opt` call — the corner-aware optimiser
+  must be servable bit-identically like every other experiment.
+
+Any difference — a float, an axis label, a schema field — is a failure.
 
 Run by the CI ``serve-smoke`` job and by hand::
 
@@ -28,6 +37,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 POINTS = 48  # enough structure to catch real drift, fast enough for CI
 STARTUP_TIMEOUT_S = 60.0
+#: Small but genuine yield search: 3 candidates x 2 iterations x 4 corners.
+#: The active-mode-only targets are derived from the canonical default set
+#: in check_yield_opt (imports only resolve after main() sets the path).
+YIELD_GRID: dict = {
+    "population": 3,
+    "iterations": 2,
+    "num_samples": 4,
+}
 
 
 def start_server(env: dict) -> tuple[subprocess.Popen, str]:
@@ -62,38 +79,109 @@ def wait_healthy(base_url: str) -> None:
     raise RuntimeError("server never became healthy")
 
 
+def post_json(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def check_fig8_spec(base_url: str) -> int:
+    from repro.api import SpecRequest, encode
+    from repro.experiments import run_fig8
+
+    request = SpecRequest(experiment="fig8", grid={"points": POINTS})
+    served = post_json(base_url + "/v1/spec", request.to_dict())
+    expected = encode(run_fig8(points=POINTS))
+    if served["result"] != expected:
+        print("FAIL: served Fig. 8 payload differs from run_fig8()",
+              file=sys.stderr)
+        return 1
+    if served["result_schema"] != "Fig8Result":
+        print(f"FAIL: unexpected result_schema "
+              f"{served['result_schema']!r}", file=sys.stderr)
+        return 1
+    print(f"serve smoke OK: Fig. 8 over HTTP ({POINTS} points) is "
+          f"bit-identical to run_fig8() [source={served['source']}]")
+    return 0
+
+
+def check_batch_population(base_url: str) -> int:
+    from repro.api import SpecRequest, encode
+    from repro.core.config import MixerDesign
+    from repro.experiments import run_table1
+    from repro.sweep.montecarlo import DeviceSpread, sample_design
+    import numpy as np
+
+    rng = np.random.default_rng(42)
+    nominal = MixerDesign()
+    population = [nominal] + [
+        sample_design(nominal, rng, DeviceSpread(), f"smoke-{index}")
+        for index in range(2)
+    ]
+    requests = [SpecRequest(experiment="table1", design=design).to_dict()
+                for design in population]
+    served = post_json(base_url + "/v1/batch", {"requests": requests})
+    responses = served.get("responses", [])
+    if len(responses) != len(population):
+        print(f"FAIL: batch returned {len(responses)} responses for "
+              f"{len(population)} requests", file=sys.stderr)
+        return 1
+    for design, response in zip(population, responses):
+        if response["result"] != encode(run_table1(design)):
+            print("FAIL: batch Table I payload differs from run_table1() "
+                  f"for design {design.fingerprint()[:12]}", file=sys.stderr)
+            return 1
+    print(f"serve smoke OK: /v1/batch over a {len(population)}-design "
+          "population is bit-identical to per-design run_table1()")
+    return 0
+
+
+def check_yield_opt(base_url: str) -> int:
+    from repro.api import SpecRequest, encode
+    from repro.core.config import MixerMode
+    from repro.optimize import default_targets, run_yield_opt
+
+    grid = dict(YIELD_GRID)
+    grid["targets"] = [target.to_wire() for target in default_targets()
+                       if target.mode is MixerMode.ACTIVE]
+    request = SpecRequest(experiment="yield_opt", grid=grid)
+    served = post_json(base_url + "/v1/spec", request.to_dict())
+    expected = run_yield_opt(**grid)
+    if served["result"] != encode(expected):
+        print("FAIL: served yield_opt payload differs from run_yield_opt()",
+              file=sys.stderr)
+        return 1
+    if served["result_schema"] != "YieldOptResult":
+        print(f"FAIL: unexpected result_schema "
+              f"{served['result_schema']!r}", file=sys.stderr)
+        return 1
+    best = served["result"]["fields"]["best_design"]
+    if best.get("__dataclass__") != "MixerDesign":
+        print("FAIL: served best_design is not a MixerDesign payload",
+              file=sys.stderr)
+        return 1
+    print("serve smoke OK: yield_opt search over HTTP is bit-identical to "
+          f"run_yield_opt() [best yield {expected.best_yield:.0%}, "
+          f"fingerprint {expected.best_fingerprint()[:12]}]")
+    return 0
+
+
 def main() -> int:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
                                if env.get("PYTHONPATH") else "")
     sys.path.insert(0, src)
-    from repro.api import SpecRequest, encode
-    from repro.experiments import run_fig8
 
     process, base_url = start_server(env)
     try:
         wait_healthy(base_url)
-        request = SpecRequest(experiment="fig8", grid={"points": POINTS})
-        body = json.dumps(request.to_dict()).encode("utf-8")
-        http_request = urllib.request.Request(
-            base_url + "/v1/spec", data=body,
-            headers={"Content-Type": "application/json"}, method="POST")
-        with urllib.request.urlopen(http_request, timeout=120) as response:
-            served = json.loads(response.read().decode("utf-8"))
-
-        expected = encode(run_fig8(points=POINTS))
-        if served["result"] != expected:
-            print("FAIL: served Fig. 8 payload differs from run_fig8()",
-                  file=sys.stderr)
-            return 1
-        if served["result_schema"] != "Fig8Result":
-            print(f"FAIL: unexpected result_schema "
-                  f"{served['result_schema']!r}", file=sys.stderr)
-            return 1
-        print(f"serve smoke OK: Fig. 8 over HTTP ({POINTS} points) is "
-              f"bit-identical to run_fig8() [source={served['source']}]")
-        return 0
+        status = check_fig8_spec(base_url)
+        status = status or check_batch_population(base_url)
+        status = status or check_yield_opt(base_url)
+        return status
     finally:
         process.terminate()
         try:
