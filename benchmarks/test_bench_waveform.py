@@ -1,0 +1,141 @@
+"""Benchmark: batched waveform engine vs the scalar measurement loop.
+
+The acceptance bar from the waveform-engine work: on the Fig. 10 input
+power grid the batched :class:`~repro.waveform.engine.WaveformRunner` path
+must agree with the point-by-point bench on every measure and run at least
+**3x** faster than the scalar loop (one device evaluation + one Spectrum
+per power, the pre-engine measurement path), and a warm waveform cache
+must serve a re-run with **zero FFT evaluations**.
+
+Both sides are timed warm (mixer built, sizing/bias solved, imports paid)
+so the comparison isolates what the engine actually changes: the stacked
+time-domain evaluation, the batched FFT, the hoisted stimulus/LO
+waveforms, and the coherence-aware periodic fast path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import record_comparison
+
+from repro.core.config import MixerMode
+from repro.core.reconfigurable_mixer import ReconfigurableMixer
+from repro.rf.signal import TwoToneSource
+from repro.rf.twotone import measure_two_tone
+from repro.waveform import (
+    WaveformRunner,
+    two_tone_plan,
+    waveform_fft_count,
+)
+
+SAMPLE_RATE = 10.24e9
+NUM_SAMPLES = 10240
+LO = 2.4e9
+TONE_1 = 2.405e9
+TONE_2 = 2.407e9
+#: The Fig. 10 default input-power grid (13 points).
+POWERS = tuple(np.arange(-45.0, -19.0, 2.0))
+MODES = (MixerMode.PASSIVE, MixerMode.ACTIVE)
+
+#: The engine's periodic fast path evaluates the same model as the scalar
+#: prefix device through a steady-state filter; the two implementations
+#: agree far below measurement resolution but not to the last bit, so the
+#: cross-implementation comparison uses this tolerance (the *scalar/vector*
+#: equivalence proper — same device, point vs batched — is pinned to 1e-9
+#: in tests/test_waveform_engine.py).
+CROSS_IMPL_TOLERANCE_DB = 1e-5
+
+
+def _plan():
+    return two_tone_plan(TONE_1, TONE_2, POWERS, SAMPLE_RATE, NUM_SAMPLES,
+                         lo_frequency=LO)
+
+
+def _scalar_loop(devices) -> dict[MixerMode, dict[str, np.ndarray]]:
+    """The pre-engine path: one measurement (device + FFT) per power."""
+    results: dict[MixerMode, dict[str, np.ndarray]] = {}
+    source = TwoToneSource(TONE_1, TONE_2, POWERS[0])
+    for mode, device in devices.items():
+        sweep = [measure_two_tone(device, source.with_power(float(power)),
+                                  SAMPLE_RATE, NUM_SAMPLES, lo_frequency=LO)
+                 for power in POWERS]
+        results[mode] = {
+            "fundamental_dbm": np.array([r.fundamental_output_dbm
+                                         for r in sweep]),
+            "im3_dbm": np.array([r.im3_output_dbm for r in sweep]),
+            "im2_dbm": np.array([r.im2_output_dbm for r in sweep]),
+        }
+    return results
+
+
+def _best_of(callable_, repeats: int = 5) -> float:
+    """Best-of-N wall time (s); the minimum is the least noisy estimator."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_waveform_batched_fig10_grid(benchmark, design) -> None:
+    """Track the batched Fig. 10 power-grid evaluation in the trajectory."""
+    runner = WaveformRunner(design)
+    plan = _plan()
+    runner.run(plan, modes=MODES)  # warm the mixer/sizing solutions
+    result = benchmark(runner.run, plan, modes=MODES)
+    assert result.shape == (1, len(MODES), len(POWERS))
+
+
+def test_bench_waveform_speedup_and_agreement(design) -> None:
+    """The acceptance gate: measures agree and the engine is >= 3x faster."""
+    plan = _plan()
+    runner = WaveformRunner(design)
+    devices = {}
+    for mode in MODES:
+        mixer = ReconfigurableMixer(design, mode)
+        devices[mode] = mixer.waveform_device(SAMPLE_RATE, lo_frequency=LO,
+                                              rf_band_frequency=TONE_1)
+
+    # Warm both paths so device sizing and imports are paid up front.
+    batched = runner.run(plan, modes=MODES)
+    scalar = _scalar_loop(devices)
+
+    for mode in MODES:
+        for measure in plan.measures:
+            worst = float(np.max(np.abs(
+                batched.values(measure, mode=mode).ravel()
+                - scalar[mode][measure])))
+            assert worst <= CROSS_IMPL_TOLERANCE_DB, (
+                f"{mode.value} {measure} differs by {worst} dB between the "
+                "batched engine and the scalar loop")
+
+    scalar_time = _best_of(lambda: _scalar_loop(devices))
+    batched_time = _best_of(lambda: runner.run(plan, modes=MODES))
+    speedup = scalar_time / batched_time
+    record_comparison("waveform", "batched speedup (fig10 power grid)",
+                      ">= 3x", f"{speedup:.1f}x")
+    assert speedup >= 3.0, (
+        f"batched waveform engine only {speedup:.1f}x faster "
+        f"({scalar_time * 1e3:.1f} ms scalar vs "
+        f"{batched_time * 1e3:.1f} ms batched)")
+
+
+def test_bench_waveform_warm_cache_zero_fft(design, tmp_path) -> None:
+    """A warm waveform cache must serve re-runs without a single FFT."""
+    plan = _plan()
+    cold = WaveformRunner(design, cache=str(tmp_path))
+    first = cold.run(plan, modes=MODES)
+    assert cold.cache.stores == len(MODES)
+
+    before = waveform_fft_count()
+    warm = WaveformRunner(design, cache=str(tmp_path))
+    second = warm.run(plan, modes=MODES)
+    assert waveform_fft_count() == before, \
+        "warm-cache waveform run performed FFT evaluations"
+    assert warm.cache.hits == len(MODES)
+    for measure in plan.measures:
+        assert np.array_equal(first.data[measure], second.data[measure])

@@ -48,8 +48,11 @@ class ExperimentSpec:
         grid (defaults merged with request overrides) is part of the
         response-cache key.
     accepts_workers / accepts_cache:
-        Whether the runner takes ``workers=`` / ``cache=`` (the waveform
-        benches and circuit-level checks do not).
+        Whether the runner takes ``workers=`` / ``cache=``.  Every
+        engine-backed driver does — the analytic sweeps and, since the
+        batched waveform engine, the ``fig10``/``iip2``/``p1db`` benches;
+        only the point circuit-level checks (``power_budget``,
+        ``tia_response``, ``ablation``) do not.
     batch_runner:
         Optional ``batch_runner(designs, *, workers=..., cache=..., **grid)
         -> dict[label, result]`` evaluating many designs as one design axis

@@ -25,7 +25,9 @@ from repro.core.config import MixerDesign
 
 #: Wire-format version; part of every request key, so a semantic change to
 #: the payloads invalidates cached responses instead of reinterpreting them.
-API_VERSION = 1
+#: v2: non-finite floats travel as ``{"__float__": ...}`` tags (strict JSON)
+#: instead of bare ``Infinity``/``NaN`` tokens.
+API_VERSION = 2
 
 
 class RequestValidationError(ValueError):

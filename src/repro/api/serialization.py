@@ -11,7 +11,11 @@ bit-for-bit.
 Encoding rules:
 
 * primitives (``str``/``int``/``float``/``bool``/``None``) pass through;
-  NumPy scalars are converted to their Python equivalents;
+  NumPy scalars are converted to their Python equivalents; **non-finite**
+  floats become ``{"__float__": "inf" | "-inf" | "nan"}`` so the emitted
+  JSON is strictly RFC-compliant (a bare ``Infinity`` token — what
+  ``json.dumps`` would otherwise produce for an unreached compression
+  point's ``inf`` — is rejected by non-Python parsers);
 * ``numpy.ndarray`` becomes ``{"__ndarray__": [...]}`` (nested lists of
   floats) and decodes back to a float array of the same shape;
 * :class:`~repro.core.config.MixerMode` becomes ``{"__mode__": "active"}``;
@@ -29,6 +33,7 @@ its label.
 
 from __future__ import annotations
 
+import math
 from dataclasses import fields, is_dataclass
 from typing import Any
 
@@ -62,14 +67,31 @@ def registered_payload_types() -> dict[str, type]:
     return dict(_PAYLOAD_TYPES)
 
 
+def _tag_nonfinite(nested: Any) -> Any:
+    """Replace non-finite floats in nested ``tolist()`` output with tags."""
+    if isinstance(nested, list):
+        return [_tag_nonfinite(item) for item in nested]
+    if isinstance(nested, float) and not math.isfinite(nested):
+        return {"__float__": repr(nested)}
+    return nested
+
+
 def encode(value: Any) -> Any:
     """Encode ``value`` into plain JSON types (see the module rules)."""
+    if isinstance(value, (np.bool_, np.integer, np.floating)):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"__float__": repr(value)}
     if value is None or isinstance(value, (str, bool, int, float)):
         return value
-    if isinstance(value, (np.bool_, np.integer, np.floating)):
-        return value.item()
     if isinstance(value, np.ndarray):
-        return {"__ndarray__": value.astype(float).tolist()}
+        nested = value.astype(float).tolist()
+        if not np.all(np.isfinite(value)):
+            # Measure arrays can legitimately carry -inf (an empty FFT
+            # bin, an unreached compression point); element-wise tagging
+            # keeps the nested lists strict JSON.
+            nested = _tag_nonfinite(nested)
+        return {"__ndarray__": nested}
     if isinstance(value, MixerMode):
         return {"__mode__": value.value}
     if is_dataclass(value) and not isinstance(value, type):
@@ -103,8 +125,15 @@ def decode(payload: Any) -> Any:
     if isinstance(payload, list):
         return [decode(item) for item in payload]
     if isinstance(payload, dict):
+        if "__float__" in payload:
+            return float(payload["__float__"])
         if "__ndarray__" in payload:
-            return np.asarray(payload["__ndarray__"], dtype=float)
+            try:
+                # Fast path: an all-finite array is plain nested lists.
+                return np.asarray(payload["__ndarray__"], dtype=float)
+            except (TypeError, ValueError):
+                # Nested non-finite elements arrive tagged; decode() first.
+                return np.asarray(decode(payload["__ndarray__"]), dtype=float)
         if "__mode__" in payload:
             return MixerMode(payload["__mode__"])
         if "__dataclass__" in payload:

@@ -162,16 +162,18 @@ class BaselineMixer:
                                       pole_frequency=self.if_bandwidth_hz)
 
         def device(waveform: np.ndarray) -> np.ndarray:
+            # Last axis is time (the WaveformTransfer contract), so the
+            # batched benches can feed a whole (powers, samples) block.
             original = np.asarray(waveform, dtype=float)
-            v = np.concatenate([original, original])
-            v = v + a3 * v ** 3
-            times = np.arange(v.size) / sample_rate
+            v = np.concatenate([original, original], axis=-1)
+            v = v + a3 * (v * v * v)
+            times = np.arange(v.shape[-1]) / sample_rate
             # Fundamental-only switching function (2/pi built into the 4/pi
             # coefficient times the 1/2 from the product-to-sum identity).
             lo_wave = (4.0 / math.pi) * np.cos(2.0 * math.pi * lo_frequency * times)
             mixed = v * lo_wave * (gain_linear / (2.0 / math.pi))
             out = if_filter.apply(mixed, sample_rate)
-            return out[original.size:]
+            return out[..., original.shape[-1]:]
 
         return device
 

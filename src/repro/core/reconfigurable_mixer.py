@@ -541,7 +541,8 @@ class ReconfigurableMixer:
 
     def waveform_device(self, sample_rate: float,
                         lo_frequency: float | None = None,
-                        rf_band_frequency: float | None = None
+                        rf_band_frequency: float | None = None,
+                        assume_periodic: bool = False
                         ) -> Callable[[np.ndarray], np.ndarray]:
         """Build a waveform-in/waveform-out model of the current configuration.
 
@@ -562,6 +563,20 @@ class ReconfigurableMixer:
         The same callable is what the IIP3, IIP2, P1dB and spot conversion
         gain benches measure, so those numbers are read off spectra exactly
         like the paper's simulations.
+
+        Time runs along the **last** axis: a ``(powers, samples)`` block is
+        processed in one call with every row identical to a solo evaluation,
+        which is how the batched waveform engine (:mod:`repro.waveform`)
+        evaluates a whole input-power sweep without a Python loop.
+
+        ``assume_periodic=True`` declares that every input record is exactly
+        one period of the waveform (true by construction on the coherently
+        sampled grids the benches build): the cyclic prefix is then dropped
+        and the IF filter applied as its steady-state periodic response
+        (:meth:`~repro.rf.filters.FirstOrderLowPass.apply_periodic`), which
+        matches the prefixed evaluation to double precision at half the
+        samples — the batched engine's fast path.  Leave it ``False`` for
+        arbitrary (aperiodic) records.
         """
         if sample_rate <= 0:
             raise ValueError("sample rate must be positive")
@@ -601,33 +616,96 @@ class ReconfigurableMixer:
             output_intercept = self.load.output_intercept_vpeak()
             output_a3 = -4.0 / (3.0 * output_intercept ** 2)
 
+        gain = gm_eff * load_resistance
+        # Per-record-length memo of the time grid and LO switching function
+        # for the periodic (engine) path: the batched engine evaluates many
+        # cache-sized chunks of identical length through one device, and
+        # these waveforms depend only on the length.  The general-purpose
+        # path recomputes them per call, as a point bench always has.
+        periodic_state: dict[int, np.ndarray] = {}
+
+        def _switching(length: int) -> np.ndarray:
+            switching = periodic_state.get(length)
+            if switching is None:
+                times = np.arange(length) / sample_rate
+                switching = quad.commutate(np.ones(length), times)
+                periodic_state[length] = switching
+            return switching
+
+        def _periodic_device(original: np.ndarray) -> np.ndarray:
+            # The engine's fast path: same model, written with in-place
+            # array maths on the un-prefixed record (the steady-state
+            # filter replaces the cyclic prefix, see
+            # FirstOrderLowPass.apply_periodic) — agreement with the
+            # general-purpose path is pinned well below measurement
+            # resolution.
+            v = original * band
+            squared = v * v
+            even_order = np.multiply(squared, gm_ratio_a2)
+            cube = np.multiply(squared, v, out=squared)
+            v += np.multiply(cube, gm_ratio_a3, out=cube)
+            if quad_a3 != 0.0:
+                squared = v * v
+                cube = np.multiply(squared, v, out=squared)
+                v += np.multiply(cube, quad_a3, out=cube)
+            v *= _switching(original.shape[-1])
+            v += even_order
+            v *= gain
+            out = if_filter.apply_periodic(v, sample_rate)
+            if output_a3 != 0.0:
+                squared = out * out
+                cube = np.multiply(squared, out, out=squared)
+                out += np.multiply(cube, output_a3, out=cube)
+            out /= swing
+            squared = out * out
+            sixth = np.multiply(squared, squared)
+            np.multiply(sixth, squared, out=sixth)
+            sixth += 1.0
+            np.sqrt(sixth, out=sixth)
+            np.cbrt(sixth, out=sixth)
+            np.divide(out, sixth, out=out)
+            out *= swing
+            return out
+
         def device(waveform: np.ndarray) -> np.ndarray:
             original = np.asarray(waveform, dtype=float)
-            # Prepend one full copy of the record as a cyclic prefix so the IF
-            # filter reaches its periodic steady state before the measured
-            # block starts; measurement grids are coherently sampled, so the
-            # record is exactly periodic and the prefix is free of artefacts.
-            v = np.concatenate([original, original]) * band
+            if assume_periodic:
+                return _periodic_device(original)
+            # Prepend one full copy of the record as a cyclic prefix so the
+            # IF filter reaches its periodic steady state before the
+            # measured block starts; measurement grids are coherently
+            # sampled, so the record is exactly periodic and the prefix is
+            # free of artefacts.
+            v = np.concatenate([original, original], axis=-1) * band
             # Gm-stage nonlinearity (voltage-normalised: unity linear term).
             # The residual even-order product (mismatch-scaled) reaches the IF
             # port without frequency conversion — the classic IM2 feedthrough
             # mechanism of an imperfectly balanced quad — so it is added after
-            # the commutation rather than inside the converted path.
-            even_order = gm_ratio_a2 * v ** 2
-            v = v + gm_ratio_a3 * v ** 3
+            # the commutation rather than inside the converted path.  Odd
+            # powers are spelled as products: np.power falls back to the slow
+            # libm path on signed bases, and these run per sample per sweep
+            # point.
+            even_order = gm_ratio_a2 * (v * v)
+            v = v + gm_ratio_a3 * (v * v * v)
             if quad_a3 != 0.0:
-                v = v + quad_a3 * v ** 3
-            times = np.arange(v.size) / sample_rate
+                v = v + quad_a3 * (v * v * v)
+            times = np.arange(v.shape[-1]) / sample_rate
             commutated = quad.commutate(v, times) + even_order
-            scaled = commutated * gm_eff * load_resistance
+            scaled = commutated * gain
             filtered = if_filter.apply(scaled, sample_rate)
-            out = filtered + output_a3 * filtered ** 3
+            if output_a3 != 0.0:
+                out = filtered + output_a3 * (filtered * filtered * filtered)
+            else:
+                out = filtered
             # Hard-ish swing limit: negligible odd-order distortion until the
             # signal approaches the rail, then compression (models the OTA /
             # output-stage clipping the paper blames for the low-IF P1dB).
+            # x^(1/6) as cbrt(sqrt(x)): hardware sqrt + libm cbrt beat pow.
             ratio = out / swing
-            out = swing * ratio / np.power(1.0 + np.abs(ratio) ** 6, 1.0 / 6.0)
-            return out[original.size:]
+            ratio_squared = ratio * ratio
+            sixth = ratio_squared * ratio_squared * ratio_squared
+            out = swing * ratio / np.cbrt(np.sqrt(1.0 + sixth))
+            return out[..., original.shape[-1]:]
 
         return device
 

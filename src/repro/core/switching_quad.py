@@ -93,11 +93,18 @@ class SwitchingQuad:
         to the sample-rate Nyquist implied by ``times``); truncation keeps
         the sampled simulation free of aliased LO harmonics while preserving
         the 2/pi fundamental behaviour.
+
+        ``waveform`` may carry leading batch axes (shape ``(..., samples)``
+        with time on the last axis, ``times`` one-dimensional): the switching
+        function is computed once and broadcast across the batch, which is
+        what lets the batched waveform engine commutate a whole power sweep
+        in one call.
         """
         samples = np.asarray(waveform, dtype=float)
         t = np.asarray(times, dtype=float)
-        if samples.shape != t.shape:
-            raise ValueError("waveform and times must have the same shape")
+        if t.ndim != 1 or samples.shape[-1:] != t.shape:
+            raise ValueError("waveform and times must have the same shape "
+                             "(times 1-D, waveform (..., len(times)))")
         if nyquist is None:
             if t.size < 2:
                 raise ValueError("need at least two time points")

@@ -13,6 +13,7 @@ function call both here and there.
 | :mod:`repro.experiments.fig10_iip3`        | Fig. 10(a)/(b) — two-tone IIP3, both modes |
 | :mod:`repro.experiments.table1_comparison` | Table I — comparison with published designs |
 | :mod:`repro.experiments.iip2`              | section IV text — IIP2 > 65 dBm |
+| :mod:`repro.experiments.p1db_compression`  | Table I — input 1 dB compression point |
 | :mod:`repro.experiments.power_budget`      | section III/IV text — power per mode |
 | :mod:`repro.experiments.tia_response`      | equation (4) — TIA input impedance |
 | :mod:`repro.optimize.search`               | Table I targets under process spread — yield optimisation |
@@ -26,15 +27,21 @@ reference intercepts of Fig. 10) all run on :mod:`repro.sweep`: a
 :class:`~repro.sweep.runner.SweepRunner` evaluates the spec accessors over
 a labelled design x mode x RF x IF grid using NumPy broadcast calls, with
 the frequency-independent work memoized once per (design, mode).  The
-waveform-level measurements (Fig. 10's two-tone spectra, IIP2, compression)
-are genuine sampled-signal benches and stay point-by-point by design.
+waveform-level measurements (Fig. 10's two-tone spectra, IIP2, the P1dB
+compression sweep) are genuine sampled-signal benches — and they batch the
+same way on :mod:`repro.waveform`: a
+:class:`~repro.waveform.engine.WaveformRunner` evaluates a whole
+design x mode x input-power grid as one stacked time-domain block plus one
+batched FFT per cell, with its own content-addressed measure cache.
 
-Every sweep entry point (``run_fig8`` / ``run_fig9`` / ``run_fig10`` /
-``run_table1`` / ``run_monte_carlo``) accepts ``workers=`` and ``cache=``:
-``workers`` shards the design axis across a process pool
-(:mod:`repro.sweep.parallel`, bit-identical results) and ``cache`` persists
-the per-(design, mode) sizing/bias solutions on disk
-(:mod:`repro.sweep.cache`) so warm re-runs skip the bisections.
+Every engine-backed entry point (``run_fig8`` / ``run_fig9`` /
+``run_fig10`` / ``run_table1`` / ``run_iip2`` / ``run_p1db`` /
+``run_monte_carlo``) accepts ``workers=`` and ``cache=``: ``workers``
+shards the design axis across a process pool (:mod:`repro.sweep.parallel` /
+:mod:`repro.waveform.parallel`, bit-identical results) and ``cache``
+persists the per-cell solutions on disk (:mod:`repro.sweep.cache` /
+:mod:`repro.waveform.cache`) so warm re-runs skip the sizing bisections
+*and* the FFT evaluations.
 
 The figure/table drivers are each frozen by a golden-regression pin in
 ``tests/test_golden_figures.py`` (see the per-module docstrings for what
@@ -57,9 +64,10 @@ schema and text reporter, so importing this package is what populates
 as one typed request; the ``run_*`` functions below stay the thin, direct
 entry points and the service's responses are bit-identical to them.  The
 shared ``design``/``workers``/``cache`` handling lives in
-:mod:`repro.experiments.common`; the sweep-backed drivers additionally
+:mod:`repro.experiments.common`; the engine-backed drivers additionally
 expose a ``sweep_*`` batch variant evaluating many designs as one design
-axis (``sweep_fig8`` / ``sweep_fig9`` / ``sweep_table1``).
+axis (``sweep_fig8`` / ``sweep_fig9`` / ``sweep_table1`` and the waveform
+benches ``sweep_fig10`` / ``sweep_iip2`` / ``sweep_p1db``).
 
 The corner-aware yield optimiser (:mod:`repro.optimize`) registers here as
 the ``yield_opt`` experiment: a seeded search over the design knobs for
@@ -70,13 +78,18 @@ reproducing one.
 
 from repro.experiments.fig8_gain_vs_rf import run_fig8, sweep_fig8, Fig8Result
 from repro.experiments.fig9_nf_vs_if import run_fig9, sweep_fig9, Fig9Result
-from repro.experiments.fig10_iip3 import run_fig10, Fig10Result
+from repro.experiments.fig10_iip3 import run_fig10, sweep_fig10, Fig10Result
 from repro.experiments.table1_comparison import (
     run_table1,
     sweep_table1,
     Table1Result,
 )
-from repro.experiments.iip2 import run_iip2, Iip2Result
+from repro.experiments.iip2 import run_iip2, sweep_iip2, Iip2Result
+from repro.experiments.p1db_compression import (
+    run_p1db,
+    sweep_p1db,
+    P1dbResult,
+)
 from repro.experiments.power_budget import run_power_budget, PowerBudgetResult
 from repro.experiments.tia_response import run_tia_response, TiaResponseResult
 from repro.experiments.ablation import run_ablation, AblationResult
@@ -89,9 +102,10 @@ __all__ = [
     "run_monte_carlo", "MonteCarloResult",
     "run_fig8", "sweep_fig8", "Fig8Result",
     "run_fig9", "sweep_fig9", "Fig9Result",
-    "run_fig10", "Fig10Result",
+    "run_fig10", "sweep_fig10", "Fig10Result",
     "run_table1", "sweep_table1", "Table1Result",
-    "run_iip2", "Iip2Result",
+    "run_iip2", "sweep_iip2", "Iip2Result",
+    "run_p1db", "sweep_p1db", "P1dbResult",
     "run_power_budget", "PowerBudgetResult",
     "run_tia_response", "TiaResponseResult",
     "run_yield_opt", "YieldOptResult",

@@ -8,12 +8,17 @@ the waveform-level mixer model — tones through the nonlinear signal path, LO
 commutation, FFT, product extraction — and fits the intercept from the swept
 lines exactly as the figure does.
 
-The analytic reference intercepts each panel is compared against come from a
-spot :class:`~repro.sweep.runner.SweepRunner` evaluation (mode axis only),
-so the waveform measurement and the analytic model are read through the same
-sweep engine every other figure uses — including its ``workers=`` /
-``cache=`` options (the waveform benches themselves are deliberately
-point-by-point and unaffected).
+Both halves of the measurement now run on engines: the analytic reference
+intercepts come from a spot :class:`~repro.sweep.runner.SweepRunner`
+evaluation and the waveform sweep itself runs through the batched
+:class:`~repro.waveform.engine.WaveformRunner` (one stacked time-domain
+evaluation + one batched FFT per (design, mode) cell).  ``workers=`` /
+``cache=`` therefore apply to **both**: the design axis of either engine
+shards across processes, the spec cache skips sizing bisections and the
+waveform cache skips FFT evaluations on warm re-runs.
+:func:`sweep_fig10` evaluates whole design populations as one design axis —
+the batch adapter :class:`~repro.api.service.MixerService` fans ``fig10``
+populations out through.
 
 Golden regression: ``tests/test_golden_figures.py::TestFig10Golden`` pins
 the FFT-measured IIP3/OIP3 of both panels to 0.02 dB and the analytic
@@ -24,21 +29,21 @@ reference intercepts to 1e-6 dBm; the passive-over-active IIP3 advantage
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
-from repro.core.reconfigurable_mixer import ReconfigurableMixer
-from repro.experiments.common import design_and_runner
-from repro.rf.twotone import TwoToneSource, fit_intercept_point, sweep_two_tone
+from repro.experiments.common import design_and_runner, resolve_design
+from repro.rf.twotone import fit_intercept_point
 from repro.sweep import SpecCache
+from repro.sweep.result import SweepResult
 from repro.units import ghz, mhz
-
-#: Default sampling grid: 10.24 GS/s with 10240 samples gives exact 1 MHz
-#: bins, so every tone and product of the default frequency plan is bin-exact.
-DEFAULT_SAMPLE_RATE = 10.24e9
-DEFAULT_NUM_SAMPLES = 10240
+from repro.waveform import WaveformResult, make_waveform_runner, two_tone_plan
+# Canonical definition lives with the stimulus plans; re-exported here for
+# backwards compatibility (iip2/p1db and older callers import from us).
+from repro.waveform.plan import DEFAULT_NUM_SAMPLES, DEFAULT_SAMPLE_RATE
 
 
 @dataclass
@@ -74,27 +79,20 @@ class Fig10Result:
         return self.passive.iip3_dbm - self.active.iip3_dbm
 
 
-def _measure_mode(design: MixerDesign, mode: MixerMode, lo_frequency: float,
-                  tone_1: float, tone_2: float,
-                  input_powers_dbm: np.ndarray, sample_rate: float,
-                  num_samples: int, analytic_iip3_dbm: float) -> ModeIip3Result:
-    mixer = ReconfigurableMixer(design, mode)
-    device = mixer.waveform_device(sample_rate, lo_frequency=lo_frequency,
-                                   rf_band_frequency=tone_1)
-    source = TwoToneSource(tone_1, tone_2, float(input_powers_dbm[0]))
-    results = sweep_two_tone(device, source, input_powers_dbm, sample_rate,
-                             num_samples, lo_frequency=lo_frequency)
-    fundamental = np.array([r.fundamental_output_dbm for r in results])
-    im3 = np.array([r.im3_output_dbm for r in results])
-    fit = fit_intercept_point(input_powers_dbm, fundamental, im3, intermod_order=3)
+def _mode_panel(wave: WaveformResult, analytic: SweepResult, label: str,
+                mode: MixerMode, powers: np.ndarray) -> ModeIip3Result:
+    """One panel: read the mode's curves off the grids and fit the intercept."""
+    fundamental = wave.values("fundamental_dbm", design=label, mode=mode)
+    im3 = wave.values("im3_dbm", design=label, mode=mode)
+    fit = fit_intercept_point(powers, fundamental, im3, intermod_order=3)
     return ModeIip3Result(
         mode=mode,
-        input_powers_dbm=np.asarray(input_powers_dbm, dtype=float),
+        input_powers_dbm=powers,
         fundamental_dbm=fundamental,
         im3_dbm=im3,
         iip3_dbm=fit.intercept_input_dbm,
         oip3_dbm=fit.intercept_output_dbm,
-        analytic_iip3_dbm=analytic_iip3_dbm,
+        analytic_iip3_dbm=analytic.value("iip3_dbm", design=label, mode=mode),
     )
 
 
@@ -109,30 +107,69 @@ def run_fig10(design: MixerDesign | None = None,
               cache: SpecCache | str | bool | None = None) -> Fig10Result:
     """Regenerate both panels of Fig. 10 (two-tone IIP3, 2.4 GHz LO).
 
-    ``workers`` / ``cache`` apply to the analytic reference sweep; a warm
-    cache skips its sizing bisections (the waveform measurement re-solves
-    its own bias chain regardless — it is the independent cross-check).
+    ``workers`` / ``cache`` apply to the analytic reference sweep *and* the
+    waveform bench: a warm cache skips the sizing bisections and serves the
+    measured spectra without a single FFT evaluation.
     """
-    design, runner = design_and_runner(design, specs=("iip3_dbm",),
-                                       workers=workers, cache=cache)
+    return sweep_fig10({"nominal": resolve_design(design)},
+                       lo_frequency_hz=lo_frequency_hz,
+                       tone_1_hz=tone_1_hz, tone_2_hz=tone_2_hz,
+                       input_powers_dbm=input_powers_dbm,
+                       sample_rate=sample_rate, num_samples=num_samples,
+                       workers=workers, cache=cache)["nominal"]
+
+
+def sweep_fig10(designs: Mapping[str, MixerDesign],
+                lo_frequency_hz: float = ghz(2.4),
+                tone_1_hz: float = ghz(2.4) + mhz(5.0),
+                tone_2_hz: float = ghz(2.4) + mhz(7.0),
+                input_powers_dbm: np.ndarray | None = None,
+                sample_rate: float = DEFAULT_SAMPLE_RATE,
+                num_samples: int = DEFAULT_NUM_SAMPLES,
+                workers: int | None = None,
+                cache: SpecCache | str | bool | None = None
+                ) -> dict[str, Fig10Result]:
+    """The Fig. 10 measurement for many designs as **one** design axis.
+
+    All designs share the stimulus plan and run through a single
+    waveform-engine call (and a single analytic reference sweep), so
+    ``workers=`` shards the whole population across processes; each
+    per-design result is bit-identical to a solo :func:`run_fig10` call
+    (every (design, mode) cell is evaluated independently).  This is the
+    batch adapter :class:`~repro.api.service.MixerService` fans design
+    populations out through.
+    """
+    if not designs:
+        raise ValueError("sweep_fig10 needs at least one design")
     if input_powers_dbm is None:
         input_powers_dbm = np.arange(-45.0, -19.0, 2.0)
     powers = np.asarray(input_powers_dbm, dtype=float)
     if powers.size < 4:
         raise ValueError("the intercept fit needs at least 4 swept powers")
 
-    analytic = runner.run(modes=(MixerMode.PASSIVE, MixerMode.ACTIVE))
-    passive = _measure_mode(design, MixerMode.PASSIVE, lo_frequency_hz,
-                            tone_1_hz, tone_2_hz, powers, sample_rate,
-                            num_samples,
-                            analytic.value("iip3_dbm", mode=MixerMode.PASSIVE))
-    active = _measure_mode(design, MixerMode.ACTIVE, lo_frequency_hz,
-                           tone_1_hz, tone_2_hz, powers, sample_rate,
-                           num_samples,
-                           analytic.value("iip3_dbm", mode=MixerMode.ACTIVE))
-    return Fig10Result(passive=passive, active=active,
-                       lo_frequency_hz=lo_frequency_hz,
-                       tone_1_hz=tone_1_hz, tone_2_hz=tone_2_hz)
+    baseline, runner = design_and_runner(next(iter(designs.values())),
+                                         specs=("iip3_dbm",),
+                                         workers=workers, cache=cache)
+    analytic = runner.run(modes=(MixerMode.PASSIVE, MixerMode.ACTIVE),
+                          designs=dict(designs))
+    plan = two_tone_plan(tone_1_hz, tone_2_hz, powers, sample_rate,
+                         num_samples, lo_frequency=lo_frequency_hz)
+    wave = make_waveform_runner(baseline, workers=workers, cache=cache).run(
+        plan, modes=(MixerMode.PASSIVE, MixerMode.ACTIVE),
+        designs=dict(designs))
+
+    results: dict[str, Fig10Result] = {}
+    for label in designs:
+        results[label] = Fig10Result(
+            passive=_mode_panel(wave, analytic, label, MixerMode.PASSIVE,
+                                powers),
+            active=_mode_panel(wave, analytic, label, MixerMode.ACTIVE,
+                               powers),
+            lo_frequency_hz=lo_frequency_hz,
+            tone_1_hz=tone_1_hz,
+            tone_2_hz=tone_2_hz,
+        )
+    return results
 
 
 def format_report(result: Fig10Result) -> str:
@@ -158,6 +195,7 @@ register_experiment(
     artefact="Fig. 10(a)/(b) — two-tone IIP3 of both modes",
     summary="Waveform-level two-tone intercept construction, both panels",
     runner=run_fig10,
+    batch_runner=sweep_fig10,
     result_type=Fig10Result,
     report=format_report,
     default_grid={"lo_frequency_hz": ghz(2.4),

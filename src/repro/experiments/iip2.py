@@ -6,6 +6,12 @@ the same two-tone waveform bench as Fig. 10, reading the IM2 product at
 ``|f2 - f1|`` instead of the IM3 products, and also reports the analytic
 mismatch-limited value.
 
+The measurement runs on the batched waveform engine
+(:class:`~repro.waveform.engine.WaveformRunner`) and the analytic reference
+on the spec sweep engine, so ``workers=`` / ``cache=`` shard and persist it
+like every other experiment; :func:`sweep_iip2` evaluates whole design
+populations as one design axis (the ``iip2`` batch adapter).
+
 Reproduces: the section IV claim "IIP2 is > 65 dBm for both cases" (Table I
 row ``iip2_dbm_min``).  This quantity carries no pin in
 ``tests/test_golden_figures.py`` — it is an FFT-measured inequality, not a
@@ -18,16 +24,18 @@ Table I's ``iip2_dbm`` entry.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
-from repro.core.reconfigurable_mixer import ReconfigurableMixer
-from repro.experiments.common import resolve_design
+from repro.experiments.common import design_and_runner, resolve_design
 from repro.experiments.fig10_iip3 import DEFAULT_NUM_SAMPLES, DEFAULT_SAMPLE_RATE
-from repro.rf.twotone import TwoToneSource, fit_intercept_point, sweep_two_tone
+from repro.rf.twotone import fit_intercept_point
+from repro.sweep import SpecCache
 from repro.units import ghz, mhz
+from repro.waveform import make_waveform_runner, two_tone_plan
 
 #: The paper's acceptance threshold.
 PAPER_IIP2_FLOOR_DBM = 65.0
@@ -70,32 +78,75 @@ def run_iip2(design: MixerDesign | None = None,
              tone_2_hz: float = ghz(2.4) + mhz(7.0),
              input_powers_dbm: np.ndarray | None = None,
              sample_rate: float = DEFAULT_SAMPLE_RATE,
-             num_samples: int = DEFAULT_NUM_SAMPLES) -> Iip2Result:
-    """Measure the IIP2 of both modes with the two-tone waveform bench."""
-    design = resolve_design(design)
+             num_samples: int = DEFAULT_NUM_SAMPLES,
+             workers: int | None = None,
+             cache: SpecCache | str | bool | None = None) -> Iip2Result:
+    """Measure the IIP2 of both modes with the two-tone waveform bench.
+
+    ``workers`` / ``cache`` plug in the sharded runners and the on-disk
+    caches of both engines — a warm re-run performs zero sizing bisections
+    and zero FFT evaluations.
+    """
+    return sweep_iip2({"nominal": resolve_design(design)},
+                      lo_frequency_hz=lo_frequency_hz, tone_1_hz=tone_1_hz,
+                      tone_2_hz=tone_2_hz,
+                      input_powers_dbm=input_powers_dbm,
+                      sample_rate=sample_rate, num_samples=num_samples,
+                      workers=workers, cache=cache)["nominal"]
+
+
+def sweep_iip2(designs: Mapping[str, MixerDesign],
+               lo_frequency_hz: float = ghz(2.4),
+               tone_1_hz: float = ghz(2.4) + mhz(5.0),
+               tone_2_hz: float = ghz(2.4) + mhz(7.0),
+               input_powers_dbm: np.ndarray | None = None,
+               sample_rate: float = DEFAULT_SAMPLE_RATE,
+               num_samples: int = DEFAULT_NUM_SAMPLES,
+               workers: int | None = None,
+               cache: SpecCache | str | bool | None = None
+               ) -> dict[str, Iip2Result]:
+    """The IIP2 check for many designs as **one** design axis.
+
+    All designs share the stimulus plan and run through one waveform-engine
+    call plus one analytic reference sweep; per-design results are
+    bit-identical to solo :func:`run_iip2` calls.  This is the batch adapter
+    :class:`~repro.api.service.MixerService` fans design populations out
+    through.
+    """
+    if not designs:
+        raise ValueError("sweep_iip2 needs at least one design")
     if input_powers_dbm is None:
         input_powers_dbm = np.arange(-45.0, -27.0, 2.0)
     powers = np.asarray(input_powers_dbm, dtype=float)
 
-    results: dict[MixerMode, ModeIip2Result] = {}
-    for mode in (MixerMode.ACTIVE, MixerMode.PASSIVE):
-        mixer = ReconfigurableMixer(design, mode)
-        device = mixer.waveform_device(sample_rate, lo_frequency=lo_frequency_hz,
-                                       rf_band_frequency=tone_1_hz)
-        source = TwoToneSource(tone_1_hz, tone_2_hz, float(powers[0]))
-        sweep = sweep_two_tone(device, source, powers, sample_rate, num_samples,
-                               lo_frequency=lo_frequency_hz)
-        fit = fit_intercept_point(powers,
-                                  [r.fundamental_output_dbm for r in sweep],
-                                  [r.im2_output_dbm for r in sweep],
-                                  intermod_order=2)
-        results[mode] = ModeIip2Result(
-            mode=mode,
-            measured_iip2_dbm=fit.intercept_input_dbm,
-            analytic_iip2_dbm=mixer.iip2_dbm(),
-        )
-    return Iip2Result(active=results[MixerMode.ACTIVE],
-                      passive=results[MixerMode.PASSIVE])
+    baseline, runner = design_and_runner(next(iter(designs.values())),
+                                         specs=("iip2_dbm",),
+                                         workers=workers, cache=cache)
+    modes = (MixerMode.ACTIVE, MixerMode.PASSIVE)
+    analytic = runner.run(modes=modes, designs=dict(designs))
+    plan = two_tone_plan(tone_1_hz, tone_2_hz, powers, sample_rate,
+                         num_samples, lo_frequency=lo_frequency_hz)
+    wave = make_waveform_runner(baseline, workers=workers, cache=cache).run(
+        plan, modes=modes, designs=dict(designs))
+
+    results: dict[str, Iip2Result] = {}
+    for label in designs:
+        per_mode: dict[MixerMode, ModeIip2Result] = {}
+        for mode in modes:
+            fit = fit_intercept_point(
+                powers,
+                wave.values("fundamental_dbm", design=label, mode=mode),
+                wave.values("im2_dbm", design=label, mode=mode),
+                intermod_order=2)
+            per_mode[mode] = ModeIip2Result(
+                mode=mode,
+                measured_iip2_dbm=fit.intercept_input_dbm,
+                analytic_iip2_dbm=analytic.value("iip2_dbm", design=label,
+                                                 mode=mode),
+            )
+        results[label] = Iip2Result(active=per_mode[MixerMode.ACTIVE],
+                                    passive=per_mode[MixerMode.PASSIVE])
+    return results
 
 
 def format_report(result: Iip2Result) -> str:
@@ -115,6 +166,7 @@ register_experiment(
     artefact="Section IV text — IIP2 > 65 dBm for both modes",
     summary="Two-tone IM2 measurement against the paper's 65 dBm floor",
     runner=run_iip2,
+    batch_runner=sweep_iip2,
     result_type=Iip2Result,
     report=format_report,
     default_grid={"lo_frequency_hz": ghz(2.4),
@@ -123,7 +175,5 @@ register_experiment(
                   "input_powers_dbm": None,
                   "sample_rate": DEFAULT_SAMPLE_RATE,
                   "num_samples": DEFAULT_NUM_SAMPLES},
-    accepts_workers=False,
-    accepts_cache=False,
     payload_types=(ModeIip2Result,),
 )

@@ -4,7 +4,9 @@ The subsystem that turns the reproduction from "regenerate Table I" into
 "search for the design that still makes Table I under process spread":
 
 * :mod:`repro.optimize.targets` — :class:`SpecTarget` acceptance bounds and
-  the Table I default set;
+  the Table I default set; besides the analytic sweep specs a target may
+  bound the waveform-measured IIP3 / P1dB (:data:`WAVEFORM_SPECS`), scored
+  through the batched waveform engine;
 * :mod:`repro.optimize.search` — :func:`run_yield_opt`, the seeded
   shrinking-span search scoring candidate populations through the sweep
   engine's Monte-Carlo device-spread model;
@@ -28,6 +30,8 @@ from repro.optimize.search import (
     run_yield_opt,
 )
 from repro.optimize.targets import (
+    TARGETABLE_SPECS,
+    WAVEFORM_SPECS,
     SpecTarget,
     default_targets,
     default_targets_wire,
@@ -40,6 +44,8 @@ __all__ = [
     "EXPERIMENT_NAME",
     "SEARCHABLE_KNOBS",
     "SpecTarget",
+    "TARGETABLE_SPECS",
+    "WAVEFORM_SPECS",
     "YieldOptResult",
     "YieldRequest",
     "default_targets",

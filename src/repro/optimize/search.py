@@ -53,9 +53,18 @@ from repro.optimize.targets import (
     default_targets_wire,
     parse_targets,
 )
+from repro.rf.compression import compression_from_gains
+from repro.rf.twotone import fit_intercept_point
 from repro.sweep import SpecCache
 from repro.sweep.montecarlo import DeviceSpread, sample_design
 from repro.sweep.runner import ALL_SPECS
+from repro.waveform import (
+    DEFAULT_NUM_SAMPLES,
+    DEFAULT_SAMPLE_RATE,
+    make_waveform_runner,
+    single_tone_plan,
+    two_tone_plan,
+)
 
 #: Name under which the optimiser registers in the experiment registry.
 EXPERIMENT_NAME = "yield_opt"
@@ -91,6 +100,17 @@ DEFAULT_SEED = 20150901
 
 #: Candidate label pattern (design-axis labels must be unique).
 _CANDIDATE_LABEL = "i{iteration:02d}-c{candidate:02d}"
+
+#: Stimulus the waveform-measured targets are scored with: deliberately
+#: coarser than the figure-quality grids (the score only needs the fitted
+#: intercept / crossing, not a publishable curve) but the same coherent
+#: sampling plan, so every corner evaluation is one batched FFT.  The tone
+#: frequencies derive from the candidate's nominal operating point at
+#: scoring time; the spacing matches the Fig. 10 default (2 MHz).
+WAVEFORM_TONE_SPACING_HZ = 2.0e6
+WAVEFORM_IIP3_POWERS_DBM = (-45.0, -42.0, -39.0, -36.0, -33.0, -30.0)
+WAVEFORM_P1DB_POWERS_DBM = (-40.0, -36.0, -32.0, -28.0, -24.0, -20.0,
+                            -16.0, -12.0, -8.0)
 
 
 @dataclass
@@ -156,6 +176,80 @@ def _validate_knobs(knobs: Sequence[str] | None) -> tuple[str, ...]:
     return resolved
 
 
+def _waveform_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
+                            targets: Sequence[SpecTarget],
+                            base: MixerDesign) -> dict[str, np.ndarray]:
+    """Score the waveform-measured targets over one corner design axis.
+
+    Returns ``target.key -> per-design value array`` aligned with
+    ``corner_designs`` order.  Each needed bench (two-tone for
+    ``waveform_iip3_dbm``, single-tone for ``waveform_p1db_dbm``) is **one**
+    waveform-engine call over the whole axis — sharded by ``workers=`` and
+    served from the waveform cache on warm re-runs — followed by the same
+    per-design fits the ``fig10`` / ``p1db`` drivers use.
+    """
+    labels = list(corner_designs)
+    values: dict[str, np.ndarray] = {}
+
+    def _checked(plan):
+        # The score trusts exact bin reads; an operating point that does
+        # not land on the fixed bin grid would leak across bins and turn
+        # the yield mask into noise — refuse it loudly instead.
+        if not plan.is_coherent():
+            raise ValueError(
+                "waveform-measured targets need the design's LO/IF "
+                "operating point to land on the scoring FFT bin grid "
+                f"({DEFAULT_SAMPLE_RATE / DEFAULT_NUM_SAMPLES / 1e6:.1f} "
+                "MHz bins); retune lo_frequency/if_frequency to bin "
+                "multiples or score analytic specs instead")
+        return plan
+
+    iip3_targets = [t for t in targets if t.spec == "waveform_iip3_dbm"]
+    if iip3_targets:
+        modes = tuple(dict.fromkeys(t.mode for t in iip3_targets))
+        tone_1 = base.lo_frequency + base.if_frequency
+        plan = _checked(two_tone_plan(
+            tone_1, tone_1 + WAVEFORM_TONE_SPACING_HZ,
+            WAVEFORM_IIP3_POWERS_DBM, DEFAULT_SAMPLE_RATE,
+            DEFAULT_NUM_SAMPLES, lo_frequency=base.lo_frequency))
+        wave = runner.run(plan, modes=modes, designs=dict(corner_designs))
+        powers = plan.powers()
+        for target in iip3_targets:
+            fitted = np.empty(len(labels))
+            for index, label in enumerate(labels):
+                fit = fit_intercept_point(
+                    powers,
+                    wave.values("fundamental_dbm", design=label,
+                                mode=target.mode),
+                    wave.values("im3_dbm", design=label, mode=target.mode),
+                    intermod_order=3)
+                fitted[index] = fit.intercept_input_dbm
+            values[target.key] = fitted
+
+    p1db_targets = [t for t in targets if t.spec == "waveform_p1db_dbm"]
+    if p1db_targets:
+        modes = tuple(dict.fromkeys(t.mode for t in p1db_targets))
+        rf = base.lo_frequency + base.if_frequency
+        plan = _checked(single_tone_plan(
+            rf, WAVEFORM_P1DB_POWERS_DBM, DEFAULT_SAMPLE_RATE,
+            DEFAULT_NUM_SAMPLES, lo_frequency=base.lo_frequency,
+            output_frequency=base.if_frequency))
+        wave = runner.run(plan, modes=modes, designs=dict(corner_designs))
+        powers = plan.powers()
+        for target in p1db_targets:
+            fitted = np.empty(len(labels))
+            for index, label in enumerate(labels):
+                _, input_p1db, _ = compression_from_gains(
+                    powers,
+                    wave.values("gain_db", design=label, mode=target.mode))
+                # A sweep that never compresses reads as an unbounded P1dB:
+                # it passes any minimum bound, which is the right verdict
+                # for "compression must not happen before X dBm".
+                fitted[index] = input_p1db
+            values[target.key] = fitted
+    return values
+
+
 def _perturb(center: MixerDesign, knobs: Sequence[str], span: float,
              rng: np.random.Generator) -> MixerDesign:
     """One candidate: every knob scaled log-normally around ``center``.
@@ -191,6 +285,12 @@ def run_yield_opt(design: MixerDesign | None = None,
     targets:
         Acceptance bounds — :class:`SpecTarget` objects or their wire form
         ``[spec, mode, min, max]``; ``None`` selects the Table I defaults.
+        Analytic specs score through the spec sweep engine; the
+        waveform-measured specs (``waveform_iip3_dbm`` /
+        ``waveform_p1db_dbm``) score every corner through the batched
+        waveform engine — the FFT-measured Fig. 10 intercept and Table I
+        compression point as optimisation constraints, sharded and cached
+        like everything else.
     knobs:
         Design parameters the search may move (subset of
         :data:`SEARCHABLE_KNOBS`); ``None`` selects :data:`DEFAULT_KNOBS`.
@@ -225,18 +325,27 @@ def run_yield_opt(design: MixerDesign | None = None,
         raise ValueError("shrink must be in (0, 1]")
     seed = int(seed)
 
-    # Specs/modes actually demanded by the targets, in canonical order, so
-    # the sweep never solves more than the score needs.
+    # Analytic targets score through the spec sweep engine, waveform
+    # targets through the batched waveform engine; each engine only runs
+    # when the target list demands it, and each solves no more specs/modes
+    # than the score needs.
+    analytic_targets = [t for t in target_list if not t.is_waveform]
+    waveform_targets = [t for t in target_list if t.is_waveform]
     specs = tuple(spec for spec in ALL_SPECS
-                  if any(t.spec == spec for t in target_list))
+                  if any(t.spec == spec for t in analytic_targets))
     modes = tuple(mode for mode in (MixerMode.ACTIVE, MixerMode.PASSIVE)
-                  if any(t.mode is mode for t in target_list))
+                  if any(t.mode is mode for t in analytic_targets))
     # Imported lazily: repro.experiments re-exports this module, so a
     # module-level import of the experiments package would be circular when
     # repro.optimize is imported first.
-    from repro.experiments.common import design_and_runner
-    base, runner = design_and_runner(design, specs=specs, workers=workers,
-                                     cache=cache)
+    from repro.experiments.common import design_and_runner, resolve_design
+    if analytic_targets:
+        base, runner = design_and_runner(design, specs=specs, workers=workers,
+                                         cache=cache)
+    else:
+        base, runner = resolve_design(design), None
+    wave_runner = make_waveform_runner(base, workers=workers, cache=cache) \
+        if waveform_targets else None
     spread = DeviceSpread()
 
     best_design = base
@@ -271,9 +380,15 @@ def run_yield_opt(design: MixerDesign | None = None,
                          + f"-s{sample:03d}")
                 corner_designs[label] = sample_design(candidate, rng, spread,
                                                       label)
-        sweep = runner.run(rf_frequencies=[base.rf_frequency],
-                           if_frequencies=[base.if_frequency],
-                           modes=modes, designs=corner_designs)
+        sweep = None
+        if runner is not None:
+            sweep = runner.run(rf_frequencies=[base.rf_frequency],
+                               if_frequencies=[base.if_frequency],
+                               modes=modes, designs=corner_designs)
+        wave_values: dict[str, np.ndarray] = {}
+        if wave_runner is not None:
+            wave_values = _waveform_corner_values(wave_runner, corner_designs,
+                                                  waveform_targets, base)
         evaluations += population * num_samples
 
         # Score: pass masks per target, AND-ed into the overall yield.
@@ -281,7 +396,10 @@ def run_yield_opt(design: MixerDesign | None = None,
         passing = np.ones(shape, dtype=bool)
         per_target: dict[str, np.ndarray] = {}
         for target in target_list:
-            values = sweep.values(target.spec, mode=target.mode)
+            if target.is_waveform:
+                values = wave_values[target.key]
+            else:
+                values = sweep.values(target.spec, mode=target.mode)
             mask = target.passes(values.reshape(shape))
             per_target[target.key] = mask
             passing &= mask

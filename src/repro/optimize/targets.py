@@ -32,6 +32,17 @@ from repro.core.config import (
 )
 from repro.sweep.runner import ALL_SPECS
 
+#: Waveform-measured specs the optimiser can bound: the FFT-measured IIP3
+#: intercept (Fig. 10's construction) and the measured input P1dB (the
+#: Table I compression row), both evaluated through the batched waveform
+#: engine over the candidate corners — see
+#: :func:`repro.optimize.search.run_yield_opt`.
+WAVEFORM_SPECS = ("waveform_iip3_dbm", "waveform_p1db_dbm")
+
+#: Every spec a target may bound: the analytic sweep specs plus the
+#: waveform-measured ones.
+TARGETABLE_SPECS = ALL_SPECS + WAVEFORM_SPECS
+
 
 @dataclass(frozen=True)
 class SpecTarget:
@@ -40,6 +51,9 @@ class SpecTarget:
     Either bound may be ``None`` (open); at least one must be given.  The
     bounds are inclusive, matching
     :meth:`~repro.sweep.montecarlo.MonteCarloResult.yield_fraction`.
+    ``spec`` may name an analytic sweep spec (:data:`ALL_SPECS`) or a
+    waveform-measured one (:data:`WAVEFORM_SPECS` — the FFT-measured IIP3
+    and P1dB, scored through the batched waveform engine).
     """
 
     spec: str
@@ -48,9 +62,9 @@ class SpecTarget:
     maximum: float | None = None
 
     def __post_init__(self) -> None:
-        if self.spec not in ALL_SPECS:
+        if self.spec not in TARGETABLE_SPECS:
             raise ValueError(
-                f"unknown spec {self.spec!r}; choose from {ALL_SPECS}")
+                f"unknown spec {self.spec!r}; choose from {TARGETABLE_SPECS}")
         if not isinstance(self.mode, MixerMode):
             raise TypeError("mode must be a MixerMode member")
         if self.minimum is None and self.maximum is None:
@@ -65,6 +79,11 @@ class SpecTarget:
     def key(self) -> str:
         """Stable identifier used in per-spec yield breakdowns."""
         return f"{self.mode.value}:{self.spec}"
+
+    @property
+    def is_waveform(self) -> bool:
+        """True when this target bounds a waveform-measured spec."""
+        return self.spec in WAVEFORM_SPECS
 
     def passes(self, values: np.ndarray) -> np.ndarray:
         """Boolean pass mask of ``values`` against this target's bounds."""

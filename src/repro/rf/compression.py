@@ -4,21 +4,24 @@ The paper's Table I quotes the input-referred 1 dB compression point of both
 modes at a 5 MHz IF; the text notes it is set by the OTA output swing at low
 IF.  :func:`measure_compression_point` sweeps a single tone through a
 waveform-level device and finds the input power where the gain has dropped
-1 dB below its small-signal value.
+1 dB below its small-signal value.  The sweep itself is a thin wrapper over
+the batched waveform engine (one stacked evaluation + one batched FFT for
+every power); the fit from gains to the compression point is
+:func:`compression_from_gains`, shared with the batched ``p1db`` experiment
+driver so both paths locate the point identically.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.rf.signal import Tone, sample_times
-from repro.rf.spectrum import Spectrum
-
-WaveformTransfer = Callable[[np.ndarray], np.ndarray]
+# Re-exported for backwards compatibility; the canonical definition (and
+# its batched last-axis-is-time contract) lives in repro.rf.signal.
+from repro.rf.signal import WaveformTransfer  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -38,30 +41,26 @@ class CompressionResult:
         return math.isfinite(self.input_p1db_dbm)
 
 
-def measure_compression_point(device: WaveformTransfer, frequency: float,
-                              input_powers_dbm: Sequence[float],
-                              sample_rate: float, num_samples: int,
-                              output_frequency: float | None = None
-                              ) -> CompressionResult:
-    """Sweep a single tone and locate the input-referred 1 dB compression point.
+def compression_from_gains(input_powers_dbm: np.ndarray,
+                           gains_db: np.ndarray
+                           ) -> tuple[float, float, float]:
+    """Locate the 1 dB compression point on a measured gain curve.
 
-    ``output_frequency`` defaults to the input frequency (amplifier); for a
-    mixer pass the IF frequency the fundamental lands on.
+    Returns ``(small_signal_gain_db, input_p1db_dbm, output_p1db_dbm)``;
+    the compression values are ``inf`` when the sweep never reaches 1 dB of
+    compression.  The small-signal gain anchors on the lowest-power fifth of
+    the sweep, and the crossing is interpolated between the **first** pair
+    of adjacent points (in ascending power) that straddles the -1 dB line —
+    so a non-monotone gain curve (expansion before compression, measurement
+    ripple) yields the first genuine crossing, never an average.
     """
-    powers = np.asarray(list(input_powers_dbm), dtype=float)
+    powers = np.asarray(input_powers_dbm, dtype=float)
+    gains = np.asarray(gains_db, dtype=float)
+    if powers.shape != gains.shape or powers.ndim != 1:
+        raise ValueError("powers and gains must be 1-D arrays of equal length")
     if powers.size < 3:
         raise ValueError("compression sweep needs at least 3 input powers")
-    measure_frequency = output_frequency if output_frequency is not None else frequency
 
-    times = sample_times(sample_rate, num_samples)
-    output_powers = np.empty_like(powers)
-    for index, power in enumerate(powers):
-        tone = Tone(frequency, float(power))
-        output = device(tone.waveform(times))
-        spectrum = Spectrum(output, sample_rate)
-        output_powers[index] = spectrum.power_dbm_at(measure_frequency)
-
-    gains = output_powers - powers
     # Small-signal gain: average over the lowest-power fifth of the sweep.
     anchor = max(2, powers.size // 5)
     order = np.argsort(powers)
@@ -84,6 +83,40 @@ def measure_compression_point(device: WaveformTransfer, frequency: float,
                 input_p1db = float(x0 + fraction * (x1 - x0))
                 output_p1db = input_p1db + target
                 break
+    return small_signal_gain, input_p1db, output_p1db
+
+
+def measure_compression_point(device: WaveformTransfer, frequency: float,
+                              input_powers_dbm: Sequence[float],
+                              sample_rate: float, num_samples: int,
+                              output_frequency: float | None = None
+                              ) -> CompressionResult:
+    """Sweep a single tone and locate the input-referred 1 dB compression point.
+
+    ``output_frequency`` defaults to the input frequency (amplifier); for a
+    mixer pass the IF frequency the fundamental lands on.  The power sweep
+    is one batched evaluation through the waveform engine, bit-identical per
+    power to a scalar tone-by-tone measurement; the device must accept a
+    ``(powers, samples)`` block with time on the last axis.
+    """
+    # Imported lazily to keep the rf -> waveform dependency one-way at
+    # import time (repro.waveform builds on the rf primitives).
+    from repro.waveform.engine import evaluate_plan
+    from repro.waveform.plan import single_tone_plan
+
+    powers = np.asarray(list(input_powers_dbm), dtype=float)
+    if powers.size < 3:
+        raise ValueError("compression sweep needs at least 3 input powers")
+    measure_frequency = output_frequency if output_frequency is not None \
+        else frequency
+
+    plan = single_tone_plan(frequency, powers, sample_rate, num_samples,
+                            output_frequency=measure_frequency)
+    measures = evaluate_plan(device, plan)
+    output_powers = measures["output_dbm"]
+    gains = measures["gain_db"]
+    small_signal_gain, input_p1db, output_p1db = \
+        compression_from_gains(powers, gains)
 
     return CompressionResult(
         input_powers_dbm=powers,

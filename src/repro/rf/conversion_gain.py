@@ -16,15 +16,14 @@ Two views of the same quantity:
 from __future__ import annotations
 
 import math
-from typing import Callable
 
 import numpy as np
 
-from repro.rf.signal import Tone, sample_times
+# WaveformTransfer is re-exported for backwards compatibility; the
+# canonical definition lives in repro.rf.signal.
+from repro.rf.signal import Tone, WaveformTransfer, sample_times  # noqa: F401
 from repro.rf.spectrum import Spectrum
 from repro.units import db_from_voltage_ratio
-
-WaveformTransfer = Callable[[np.ndarray], np.ndarray]
 
 #: Fundamental Fourier coefficient of a +-1 square wave divided by 2 — the
 #: voltage conversion factor of an ideal hard-switched commutating mixer.

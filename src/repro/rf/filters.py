@@ -72,26 +72,79 @@ class FirstOrderLowPass:
         """Attenuation relative to DC, in dB (non-negative)."""
         return float(20.0 * math.log10(self.dc_gain) - self.magnitude_db(frequency))
 
+    def _bilinear_coefficients(self, sample_rate: float
+                               ) -> tuple[list[float], list[float]]:
+        """``(b, a)`` of the bilinear transform of ``H(s) = g / (1 + s/wc)``.
+
+        The one discretisation both :meth:`apply` and :meth:`apply_periodic`
+        run — change it here and the two paths stay identical by
+        construction.
+        """
+        if sample_rate <= 0:
+            raise ValueError("sample rate must be positive")
+        wc = 2.0 * math.pi * self.pole_frequency
+        k = 2.0 * sample_rate
+        a0 = wc + k
+        return ([self.dc_gain * wc / a0, self.dc_gain * wc / a0],
+                [1.0, (wc - k) / a0])
+
+    def _dc_seed(self, samples: np.ndarray, b0: float) -> np.ndarray:
+        """Initial filter state settling a DC input at its settled output,
+        avoiding a start-up transient that would smear the spectrum."""
+        first = samples[..., :1]
+        return first * self.dc_gain - b0 * first
+
     def apply(self, waveform: np.ndarray, sample_rate: float) -> np.ndarray:
-        """Filter a sampled waveform with the single-pole response.
+        """Filter sampled waveforms with the single-pole response.
 
         Implemented as a first-order IIR (bilinear-transformed RC), which is
-        adequate for the behavioural signal paths in this library.
+        adequate for the behavioural signal paths in this library.  Time runs
+        along the **last** axis, so a batched ``(records, samples)`` block is
+        filtered row by row in one call — each row identical to filtering it
+        alone.
         """
         from scipy.signal import lfilter
 
         samples = np.asarray(waveform, dtype=float)
-        if sample_rate <= 0:
-            raise ValueError("sample rate must be positive")
-        # Bilinear transform of H(s) = g / (1 + s/wc).
-        wc = 2.0 * math.pi * self.pole_frequency
-        k = 2.0 * sample_rate
-        a0 = wc + k
-        b_coeffs = [self.dc_gain * wc / a0, self.dc_gain * wc / a0]
-        a_coeffs = [1.0, (wc - k) / a0]
-        # Seed the filter state so a DC input starts at its settled output,
-        # avoiding a start-up transient that would smear the spectrum.
-        initial = samples[0] * self.dc_gain
-        zi = [initial - b_coeffs[0] * samples[0]]
-        out, _ = lfilter(b_coeffs, a_coeffs, samples, zi=zi)
+        b_coeffs, a_coeffs = self._bilinear_coefficients(sample_rate)
+        zi = self._dc_seed(samples, b_coeffs[0])
+        out, _ = lfilter(b_coeffs, a_coeffs, samples, axis=-1, zi=zi)
+        return out
+
+    def apply_periodic(self, waveform: np.ndarray,
+                       sample_rate: float) -> np.ndarray:
+        """The response after one full-record warm-up — the cyclic prefix.
+
+        Equivalent to prepending a copy of the record, running
+        :meth:`apply`, and keeping the second half — the IIR runs a warm-up
+        pass whose final state seeds the output pass — but no duplicated
+        record is ever materialised, every stage *around* the filter works
+        on half the samples, and the warm-up only traverses the tail the
+        one-pole state can still remember.  The result matches the prefixed
+        evaluation to double precision (the discarded history has decayed
+        below the last representable bit).  For a record-periodic input
+        (the coherently sampled benches) this is the filter's periodic
+        steady state; it is the filter path of the batched waveform
+        engine's ``assume_periodic`` devices.  Time runs along the last
+        axis.
+        """
+        from scipy.signal import lfilter
+
+        samples = np.asarray(waveform, dtype=float)
+        b_coeffs, a_coeffs = self._bilinear_coefficients(sample_rate)
+        # The warm-up pass exists only for its final state, and a one-pole
+        # filter forgets its past geometrically: samples older than the
+        # point where |a1|^age underflows double precision cannot move the
+        # state, so warming up on that tail alone is exact to the last bit
+        # that matters.
+        num_samples = samples.shape[-1]
+        decay = abs(a_coeffs[1])
+        if 0.0 < decay < 1.0:
+            memory = int(math.ceil(-60.0 * math.log(2.0) / math.log(decay)))
+            tail = samples[..., max(0, num_samples - memory):]
+        else:
+            tail = samples
+        zi = self._dc_seed(tail, b_coeffs[0])
+        _, settled = lfilter(b_coeffs, a_coeffs, tail, axis=-1, zi=zi)
+        out, _ = lfilter(b_coeffs, a_coeffs, samples, axis=-1, zi=settled)
         return out

@@ -11,10 +11,21 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Callable
 
 import numpy as np
 
 from repro.units import REFERENCE_IMPEDANCE, vpeak_from_dbm
+
+#: A device under test: maps an input waveform (V) to an output waveform (V).
+#: Implementations must treat the **last** axis as time — the batched
+#: waveform engine (:mod:`repro.waveform`) feeds ``(powers, samples)``
+#: blocks through the same callable the scalar benches use, so a transfer
+#: built from elementwise maths and last-axis filters works for both.  This
+#: is the single definition; :mod:`repro.rf.twotone`,
+#: :mod:`repro.rf.compression` and :mod:`repro.rf.conversion_gain` re-export
+#: it for backwards compatibility.
+WaveformTransfer = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)

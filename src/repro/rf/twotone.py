@@ -11,20 +11,24 @@ and intermodulation tone powers off the output spectrum and either
 * fits the intercept from a full input-power sweep
   (:func:`fit_intercept_point`), which is what the benchmark harness does to
   regenerate the figure.
+
+:func:`measure_two_tone` stays the independent point-by-point reference;
+:func:`sweep_two_tone` is a thin wrapper over the batched waveform engine
+(:mod:`repro.waveform`), which evaluates the whole power sweep as one
+stacked block plus one batched FFT, bit-identical per power.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.rf.signal import TwoToneSource, sample_times
+# Re-exported for backwards compatibility; the canonical definition (and
+# its batched last-axis-is-time contract) lives in repro.rf.signal.
+from repro.rf.signal import TwoToneSource, WaveformTransfer, sample_times
 from repro.rf.spectrum import Spectrum
-
-#: A device under test: maps an input waveform (V) to an output waveform (V).
-WaveformTransfer = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -211,9 +215,35 @@ def sweep_two_tone(device: WaveformTransfer, source: TwoToneSource,
                    input_powers_dbm: Sequence[float], sample_rate: float,
                    num_samples: int,
                    lo_frequency: float | None = None) -> list[TwoToneResult]:
-    """Run a two-tone measurement at each input power in the sweep."""
-    results = []
-    for power in input_powers_dbm:
-        results.append(measure_two_tone(device, source.with_power(float(power)),
-                                        sample_rate, num_samples, lo_frequency))
-    return results
+    """Run a two-tone measurement at each input power in the sweep.
+
+    Thin wrapper over the batched waveform engine: the whole sweep is one
+    stacked time-domain evaluation plus one batched FFT
+    (:func:`repro.waveform.engine.evaluate_plan`), bit-identical per power
+    to :func:`measure_two_tone` — the device must accept a ``(powers,
+    samples)`` block with time on the last axis (see
+    :data:`~repro.rf.signal.WaveformTransfer`).
+    """
+    # Imported lazily: repro.waveform builds on this module's intermod
+    # helpers, so a module-level import would be circular.
+    from repro.waveform.engine import evaluate_plan
+    from repro.waveform.plan import two_tone_plan
+
+    plan = two_tone_plan(source.frequency_1, source.frequency_2,
+                         input_powers_dbm, sample_rate, num_samples,
+                         lo_frequency)
+    measures = evaluate_plan(device, plan)
+    products = intermod_frequencies(source.frequency_1, source.frequency_2,
+                                    lo_frequency)
+    return [
+        TwoToneResult(
+            input_power_dbm=float(power),
+            fundamental_output_dbm=float(measures["fundamental_dbm"][index]),
+            im3_output_dbm=float(measures["im3_dbm"][index]),
+            im2_output_dbm=float(measures["im2_dbm"][index]),
+            fundamental_frequency=products["fundamental"],
+            im3_frequency=products["im3_high"],
+            im2_frequency=products["im2"],
+        )
+        for index, power in enumerate(plan.input_powers_dbm)
+    ]

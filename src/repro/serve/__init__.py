@@ -47,7 +47,11 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # allow_nan=False guards the wire contract: every payload must be
+        # strict RFC 8259 JSON (non-finite floats travel as tagged values,
+        # see repro.api.serialization), so a regression raises here instead
+        # of emitting a bare Infinity/NaN token no non-Python client parses.
+        body = json.dumps(payload, allow_nan=False).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))

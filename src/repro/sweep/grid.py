@@ -25,6 +25,9 @@ MODE_AXIS = "mode"
 RF_AXIS = "rf_frequency_hz"
 IF_AXIS = "if_frequency_hz"
 
+#: Input-power axis of the waveform engine (:mod:`repro.waveform`).
+POWER_AXIS = "input_power_dbm"
+
 
 def _normalise(value: Any) -> Any:
     """Map enum-like selector values (e.g. MixerMode.ACTIVE) to their label."""
@@ -105,6 +108,48 @@ class SweepAxis:
     def to_dict(self) -> dict:
         """JSON-ready description of the axis."""
         return {"name": self.name, "values": list(self.values)}
+
+    @classmethod
+    def design_axis(cls, designs, baseline) -> tuple["SweepAxis", list]:
+        """The labelled design axis for a runner's ``designs=`` argument.
+
+        ``designs`` may be a mapping of label -> design record, a sequence of
+        records (auto-labelled ``design-0`` ...), or ``None`` — a one-point
+        ``"nominal"`` axis holding ``baseline``.  Shared by the sweep and
+        waveform engines so both label design populations identically.
+        """
+        from collections.abc import Mapping
+
+        from repro.core.config import MixerDesign
+
+        if designs is None:
+            return cls.categorical(DESIGN_AXIS, ("nominal",)), [baseline]
+        if isinstance(designs, Mapping):
+            labels = tuple(designs)
+            records = list(designs.values())
+        else:
+            records = list(designs)
+            labels = tuple(f"design-{i}" for i in range(len(records)))
+        if not records:
+            raise ValueError("the design axis must not be empty")
+        for record in records:
+            if not isinstance(record, MixerDesign):
+                raise TypeError("designs must be MixerDesign records")
+        return cls.categorical(DESIGN_AXIS, labels), records
+
+    @classmethod
+    def mode_axis(cls, modes) -> tuple["SweepAxis", list]:
+        """The labelled mode axis; ``None`` selects both modes."""
+        from repro.core.config import MixerMode
+
+        members = list(modes) if modes is not None \
+            else [MixerMode.ACTIVE, MixerMode.PASSIVE]
+        if not members:
+            raise ValueError("the mode axis must not be empty")
+        for member in members:
+            if not isinstance(member, MixerMode):
+                raise TypeError("modes must be MixerMode members")
+        return cls.categorical(MODE_AXIS, members), members
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepAxis":

@@ -38,13 +38,7 @@ import numpy as np
 from repro.core.config import MixerDesign, MixerMode
 from repro.core.reconfigurable_mixer import ReconfigurableMixer, SpecIntermediates
 from repro.sweep.cache import SpecCache, resolve_cache
-from repro.sweep.grid import (
-    DESIGN_AXIS,
-    IF_AXIS,
-    MODE_AXIS,
-    RF_AXIS,
-    SweepAxis,
-)
+from repro.sweep.grid import IF_AXIS, RF_AXIS, SweepAxis
 from repro.sweep.result import SweepResult
 
 #: Spec names whose values vary across the RF/IF plane.
@@ -114,30 +108,11 @@ class SweepRunner:
     # -- grid assembly -------------------------------------------------------
 
     def _design_axis(self, designs) -> tuple[SweepAxis, list[MixerDesign]]:
-        if designs is None:
-            return SweepAxis.categorical(DESIGN_AXIS, ("nominal",)), [self.design]
-        if isinstance(designs, Mapping):
-            labels = tuple(designs)
-            records = list(designs.values())
-        else:
-            records = list(designs)
-            labels = tuple(f"design-{i}" for i in range(len(records)))
-        if not records:
-            raise ValueError("the design axis must not be empty")
-        for record in records:
-            if not isinstance(record, MixerDesign):
-                raise TypeError("designs must be MixerDesign records")
-        return SweepAxis.categorical(DESIGN_AXIS, labels), records
+        # Shared with the waveform engine; see SweepAxis.design_axis.
+        return SweepAxis.design_axis(designs, self.design)
 
     def _mode_axis(self, modes) -> tuple[SweepAxis, list[MixerMode]]:
-        members = list(modes) if modes is not None \
-            else [MixerMode.ACTIVE, MixerMode.PASSIVE]
-        if not members:
-            raise ValueError("the mode axis must not be empty")
-        for member in members:
-            if not isinstance(member, MixerMode):
-                raise TypeError("modes must be MixerMode members")
-        return SweepAxis.categorical(MODE_AXIS, members), members
+        return SweepAxis.mode_axis(modes)
 
     # -- execution -----------------------------------------------------------
 

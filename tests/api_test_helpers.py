@@ -28,6 +28,7 @@ SMALL_GRIDS: dict[str, dict] = {
     "fig10": {"input_powers_dbm": [-45.0, -43.0, -41.0, -39.0, -37.0, -35.0]},
     "table1": {},
     "iip2": {"input_powers_dbm": [-45.0, -43.0, -41.0, -39.0, -37.0]},
+    "p1db": {"input_powers_dbm": [-40.0, -34.0, -28.0, -22.0, -16.0, -10.0]},
     "power_budget": {},
     "tia_response": {"points": 16},
     "ablation": {},

@@ -41,7 +41,7 @@ def service():
 
 
 class TestRegistry:
-    def test_all_nine_experiments_registered(self, registry):
+    def test_all_ten_experiments_registered(self, registry):
         assert sorted(registry.names()) == EXPERIMENT_NAMES
 
     def test_describe_is_json_ready(self, registry):
@@ -55,15 +55,21 @@ class TestRegistry:
         with pytest.raises(KeyError, match="fig8"):
             registry.get("fig99")
 
-    def test_sweep_experiments_are_batchable(self, registry):
+    def test_engine_backed_experiments_are_batchable(self, registry):
         batchable = {spec.name for spec in registry
                      if spec.batch_runner is not None}
-        assert batchable == {"fig8", "fig9", "table1"}
+        assert batchable == {"fig8", "fig9", "table1",
+                             "fig10", "iip2", "p1db"}
 
-    def test_waveform_benches_reject_engine_options(self, registry):
-        for name in ("iip2", "power_budget", "tia_response", "ablation"):
+    def test_circuit_checks_reject_engine_options(self, registry):
+        # The waveform benches now ride the engines (workers/cache apply);
+        # only the point circuit-level checks still reject the options.
+        for name in ("power_budget", "tia_response", "ablation"):
             spec = registry.get(name)
             assert not spec.accepts_workers and not spec.accepts_cache
+        for name in ("fig10", "iip2", "p1db"):
+            spec = registry.get(name)
+            assert spec.accepts_workers and spec.accepts_cache
 
 
 class TestRequestValidation:

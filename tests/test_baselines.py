@@ -93,6 +93,30 @@ class TestBaselineMixerBehaviour:
         with pytest.raises(ValueError):
             baseline.waveform_device(1e9, 2e9)
 
+    def test_waveform_device_accepts_batched_records(self):
+        """Baseline devices honour the last-axis-is-time transfer contract
+        the batched benches feed (regression: they used to crash on a
+        (powers, samples) block)."""
+        import numpy as np
+
+        from repro.rf.compression import measure_compression_point
+        from repro.rf.signal import Tone, sample_times
+
+        baseline = published_baseline("[5]")
+        fs, n = 10.24e9, 10240
+        device = baseline.waveform_device(fs, lo_frequency=2.0e9)
+        times = sample_times(fs, n)
+        rows = np.stack([Tone(2.005e9, power).waveform(times)
+                         for power in (-40.0, -30.0)])
+        batched = device(rows)
+        assert batched.shape == rows.shape
+        assert np.array_equal(batched[0], device(rows[0]))
+        # The rewired batched bench runs end to end on a baseline device.
+        result = measure_compression_point(
+            device, 2.005e9, np.arange(-40.0, -20.0, 4.0), fs, n,
+            output_frequency=5e6)
+        assert result.gains_db.shape == (5,)
+
 
 class TestParameterisedBaselines:
     def test_gilbert_cell_derivations(self):

@@ -1,0 +1,167 @@
+"""Edge-case and property tests for the compression and intercept benches.
+
+The 1 dB compression fit has real corner cases — sweeps that never reach
+compression, gain curves that expand before they compress, measurement
+ripple around the -1 dB line — and the single-point intercept formulas
+carry exact slope identities (3:1 for IM3, 2:1 for IM2).  These tests pin
+all of them so a refactor of the fit or the formulas cannot quietly change
+which point the bench reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rf.blocks import BehavioralBlock
+from repro.rf.compression import (
+    CompressionResult,
+    compression_from_gains,
+    measure_compression_point,
+)
+from repro.rf.twotone import iip2_from_powers, iip3_from_powers
+
+COMMON_SETTINGS = settings(max_examples=60, deadline=None)
+
+FS, N = 1.024e9, 4096
+TONE = 100 * FS / N  # bin-exact test tone
+
+
+class TestCompressionNotFound:
+    def test_linear_device_reports_inf_point(self):
+        device = BehavioralBlock("dut", gain_db=10.0).transfer
+        result = measure_compression_point(device, TONE,
+                                           np.arange(-40.0, -10.0, 2.0),
+                                           FS, N)
+        assert not result.compression_found
+        assert math.isinf(result.input_p1db_dbm)
+        assert math.isinf(result.output_p1db_dbm)
+        # The sweep data itself is still fully populated.
+        assert result.gains_db.shape == result.input_powers_dbm.shape
+        assert result.small_signal_gain_db == pytest.approx(10.0, abs=0.1)
+
+    def test_sweep_stopping_short_of_compression(self):
+        # A compressive device swept only at small signal: the 1 dB point
+        # exists physically but is outside the sweep, so it is not found.
+        device = BehavioralBlock("dut", gain_db=20.0,
+                                 output_swing_limit=1.0).transfer
+        result = measure_compression_point(device, TONE,
+                                           np.arange(-60.0, -40.0, 2.0),
+                                           FS, N)
+        assert not result.compression_found
+
+    def test_compression_found_flag_tracks_finiteness(self):
+        found = CompressionResult(
+            input_powers_dbm=np.zeros(3), output_powers_dbm=np.zeros(3),
+            gains_db=np.zeros(3), small_signal_gain_db=0.0,
+            input_p1db_dbm=-15.0, output_p1db_dbm=4.0)
+        missing = CompressionResult(
+            input_powers_dbm=np.zeros(3), output_powers_dbm=np.zeros(3),
+            gains_db=np.zeros(3), small_signal_gain_db=0.0,
+            input_p1db_dbm=math.inf, output_p1db_dbm=math.inf)
+        assert found.compression_found and not missing.compression_found
+
+
+class TestNonMonotoneGainCurves:
+    def test_expansion_before_compression_finds_first_crossing(self):
+        # Gain expands by 0.5 dB before compressing: the -1 dB line (from
+        # the small-signal anchor) is crossed once, on the way down.
+        powers = np.arange(-40.0, -18.0, 2.0)
+        gains = np.array([20.0, 20.0, 20.1, 20.3, 20.5, 20.4,
+                          20.0, 19.4, 18.6, 17.6, 16.4])
+        small_signal, input_p1db, output_p1db = \
+            compression_from_gains(powers, gains)
+        assert small_signal == pytest.approx(20.0, abs=1e-9)
+        # The crossing of 19.0 dB sits between -26 dBm (19.4) and -24 dBm
+        # (18.6): linear interpolation gives -25 dBm.
+        assert input_p1db == pytest.approx(-25.0, abs=1e-9)
+        assert output_p1db == pytest.approx(input_p1db + 19.0, abs=1e-9)
+
+    def test_ripple_through_the_line_picks_the_first_crossing(self):
+        # Measurement ripple dips below -1 dB, recovers, then compresses
+        # for real; the fit must report the first genuine crossing, not the
+        # later (higher-power) one.
+        powers = np.arange(-40.0, -24.0, 2.0)
+        gains = np.array([10.0, 10.0, 10.0, 8.5, 9.6, 9.4, 8.0, 6.0])
+        _, input_p1db, _ = compression_from_gains(powers, gains)
+        # First crossing of 9.0 dB: between -36 dBm (10.0) and -34 dBm (8.5).
+        assert -36.0 < input_p1db < -34.0
+
+    def test_unsorted_power_sweep_is_ordered_before_fitting(self):
+        powers = np.array([-20.0, -40.0, -30.0, -36.0, -24.0, -28.0])
+        gains_by_power = {-40.0: 15.0, -36.0: 15.0, -30.0: 14.8,
+                          -28.0: 14.5, -24.0: 13.0, -20.0: 10.0}
+        gains = np.array([gains_by_power[p] for p in powers])
+        _, input_p1db, _ = compression_from_gains(powers, gains)
+        ordered = np.sort(powers)
+        ordered_gains = np.array([gains_by_power[p] for p in ordered])
+        _, expected, _ = compression_from_gains(ordered, ordered_gains)
+        assert input_p1db == expected
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            compression_from_gains(np.zeros(4), np.zeros(5))
+        with pytest.raises(ValueError, match="at least 3"):
+            compression_from_gains(np.array([-30.0, -20.0]),
+                                   np.array([10.0, 9.0]))
+
+
+class TestInterceptSlopeIdentities:
+    """Hypothesis pins on the 3:1 / 2:1 slope algebra of the formulas."""
+
+    power = st.floats(min_value=-80.0, max_value=0.0)
+    gain = st.floats(min_value=-20.0, max_value=40.0)
+    intercept = st.floats(min_value=-30.0, max_value=30.0)
+    step = st.floats(min_value=0.1, max_value=20.0)
+
+    @COMMON_SETTINGS
+    @given(p_in=power, gain=gain, iip3=intercept)
+    def test_iip3_recovered_exactly_from_ideal_slopes(self, p_in, gain, iip3):
+        # On ideal lines: Pfund = Pin + G, Pim3 = 3 Pin + G - 2 IIP3; the
+        # single-point formula must return IIP3 for any point on them.
+        p_fund = p_in + gain
+        p_im3 = 3.0 * p_in + gain - 2.0 * iip3
+        assert iip3_from_powers(p_in, p_fund, p_im3) == \
+            pytest.approx(iip3, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(p_in=power, gain=gain, iip2=intercept)
+    def test_iip2_recovered_exactly_from_ideal_slopes(self, p_in, gain, iip2):
+        # Ideal 2:1 lines: Pim2 = 2 Pin + G - IIP2.
+        p_fund = p_in + gain
+        p_im2 = 2.0 * p_in + gain - iip2
+        assert iip2_from_powers(p_in, p_fund, p_im2) == \
+            pytest.approx(iip2, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(p_in=power, p_fund=power, p_im3=power, delta=step)
+    def test_iip3_invariant_along_the_3_to_1_slope(self, p_in, p_fund,
+                                                   p_im3, delta):
+        # Raising the input by d moves the fundamental by d and the IM3 by
+        # 3d; the inferred intercept must not move (the 3:1 identity).
+        base = iip3_from_powers(p_in, p_fund, p_im3)
+        moved = iip3_from_powers(p_in + delta, p_fund + delta,
+                                 p_im3 + 3.0 * delta)
+        assert moved == pytest.approx(base, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(p_in=power, p_fund=power, p_im2=power, delta=step)
+    def test_iip2_invariant_along_the_2_to_1_slope(self, p_in, p_fund,
+                                                   p_im2, delta):
+        base = iip2_from_powers(p_in, p_fund, p_im2)
+        moved = iip2_from_powers(p_in + delta, p_fund + delta,
+                                 p_im2 + 2.0 * delta)
+        assert moved == pytest.approx(base, abs=1e-9)
+
+    @COMMON_SETTINGS
+    @given(p_in=power, p_fund=power, p_im3=power)
+    def test_intercept_sits_above_the_input_when_im3_is_below_fund(
+            self, p_in, p_fund, p_im3):
+        # Whenever the IM3 product is weaker than the fundamental the
+        # extrapolated intercept lies above the measurement input power.
+        if p_im3 < p_fund:
+            assert iip3_from_powers(p_in, p_fund, p_im3) > p_in
+            assert iip2_from_powers(p_in, p_fund, p_im3) > p_in

@@ -8,9 +8,16 @@ request shapes:
 
 * ``POST /v1/spec`` with a Fig. 8 request vs a direct
   :func:`repro.experiments.run_fig8` call;
+* ``POST /v1/spec`` with a ``p1db`` compression request vs a direct
+  :func:`repro.experiments.run_p1db` call (the waveform engine behind it
+  must serve bit-identically);
 * ``POST /v1/batch`` with a three-design population vs per-design
   :func:`repro.experiments.run_table1` calls (the batch fan-out through the
   sweep engine must not change a single double);
+* ``POST /v1/batch`` with ``fig10`` and ``iip2`` requests over the same
+  population vs per-design :func:`run_fig10` / :func:`run_iip2` calls —
+  the waveform benches fan out through the batched waveform engine and
+  must not change a single double either;
 * ``POST /v1/spec`` with a small ``yield_opt`` search vs a direct
   :func:`repro.optimize.run_yield_opt` call — the corner-aware optimiser
   must be servable bit-identically like every other experiment.
@@ -107,6 +114,75 @@ def check_fig8_spec(base_url: str) -> int:
     return 0
 
 
+#: Coarse but compression-reaching power grid for the served p1db check.
+P1DB_POWERS = [-40.0, -34.0, -28.0, -22.0, -16.0, -10.0]
+
+#: Small-signal power grid shared by the batched fig10/iip2 checks.
+WAVEFORM_POWERS = [-45.0, -43.0, -41.0, -39.0, -37.0]
+
+
+def check_p1db_spec(base_url: str) -> int:
+    from repro.api import SpecRequest, encode
+    from repro.experiments import run_p1db
+
+    request = SpecRequest(experiment="p1db",
+                          grid={"input_powers_dbm": P1DB_POWERS})
+    served = post_json(base_url + "/v1/spec", request.to_dict())
+    expected = run_p1db(input_powers_dbm=P1DB_POWERS)
+    if served["result"] != encode(expected):
+        print("FAIL: served p1db payload differs from run_p1db()",
+              file=sys.stderr)
+        return 1
+    if served["result_schema"] != "P1dbResult":
+        print(f"FAIL: unexpected result_schema "
+              f"{served['result_schema']!r}", file=sys.stderr)
+        return 1
+    print("serve smoke OK: p1db compression sweep over HTTP is "
+          "bit-identical to run_p1db() "
+          f"[measured {expected.passive.measured_p1db_dbm:.2f} dBm passive]")
+    return 0
+
+
+def check_waveform_batch(base_url: str) -> int:
+    """Batched fig10/iip2 populations vs per-design waveform runs."""
+    from repro.api import SpecRequest, encode
+    from repro.core.config import MixerDesign
+    from repro.experiments import run_fig10, run_iip2
+    from repro.sweep.montecarlo import DeviceSpread, sample_design
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    nominal = MixerDesign()
+    population = [nominal] + [
+        sample_design(nominal, rng, DeviceSpread(), f"wave-{index}")
+        for index in range(2)
+    ]
+    grid = {"input_powers_dbm": WAVEFORM_POWERS}
+    requests = [SpecRequest(experiment=name, design=design,
+                            grid=grid).to_dict()
+                for name in ("fig10", "iip2") for design in population]
+    served = post_json(base_url + "/v1/batch", {"requests": requests})
+    responses = served.get("responses", [])
+    if len(responses) != len(requests):
+        print(f"FAIL: waveform batch returned {len(responses)} responses "
+              f"for {len(requests)} requests", file=sys.stderr)
+        return 1
+    expected = [encode(run_fig10(design, input_powers_dbm=WAVEFORM_POWERS))
+                for design in population]
+    expected += [encode(run_iip2(design, input_powers_dbm=WAVEFORM_POWERS))
+                 for design in population]
+    for index, (response, reference) in enumerate(zip(responses, expected)):
+        if response["result"] != reference:
+            name = "fig10" if index < len(population) else "iip2"
+            print(f"FAIL: batched {name} payload differs from the direct "
+                  f"run for design #{index % len(population)}",
+                  file=sys.stderr)
+            return 1
+    print(f"serve smoke OK: /v1/batch fig10+iip2 over a {len(population)}-"
+          "design population is bit-identical to per-design runs")
+    return 0
+
+
 def check_batch_population(base_url: str) -> int:
     from repro.api import SpecRequest, encode
     from repro.core.config import MixerDesign
@@ -179,7 +255,9 @@ def main() -> int:
     try:
         wait_healthy(base_url)
         status = check_fig8_spec(base_url)
+        status = status or check_p1db_spec(base_url)
         status = status or check_batch_population(base_url)
+        status = status or check_waveform_batch(base_url)
         status = status or check_yield_opt(base_url)
         return status
     finally:
