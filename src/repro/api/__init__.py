@@ -21,6 +21,7 @@ from repro.api.request import (
     SpecRequest,
     SpecResponse,
 )
+from repro.api.progress import progress_scope, report_progress
 from repro.api.response_cache import ResponseCache
 from repro.api.serialization import decode, encode, register_payload_type
 from repro.api.service import MixerService
@@ -38,6 +39,8 @@ __all__ = [
     "decode",
     "default_registry",
     "encode",
+    "progress_scope",
     "register_experiment",
     "register_payload_type",
+    "report_progress",
 ]

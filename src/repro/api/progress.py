@@ -1,0 +1,79 @@
+"""Thread-local progress reporting for long-running requests.
+
+The async job surface (:mod:`repro.serve.jobs`) needs partial state out of
+runs that are still executing: which yield-opt iteration the search is on,
+how many sweep shards have been stitched, the best yield so far.  That
+state is already materialised inside the runners — this module is the thin
+channel that carries it out without coupling any engine to the serving
+layer.
+
+The contract is deliberately one-way and optional:
+
+* an *observer* (a job worker, a test, a CLI spinner) wraps a call in
+  :func:`progress_scope` with a callback;
+* a *producer* (:func:`repro.optimize.run_yield_opt`, the parallel
+  runners) calls :func:`report_progress` with JSON-ready keyword fields at
+  natural checkpoints;
+* with no active scope, :func:`report_progress` is a no-op costing one
+  thread-local attribute read — runners never know whether anyone is
+  listening, and results are bit-identical either way.
+
+Scopes are per-thread (each job executes on one worker thread), nest
+(inner scopes shadow outer ones for their duration), and never let a
+callback error break the computation it is observing.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+#: A progress callback: receives one JSON-ready mapping per checkpoint.
+ProgressCallback = Callable[[dict[str, Any]], None]
+
+_SCOPES = threading.local()
+
+
+def current_callback() -> ProgressCallback | None:
+    """The callback of the innermost active scope on this thread, if any."""
+    stack = getattr(_SCOPES, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def progress_scope(callback: ProgressCallback) -> Iterator[None]:
+    """Route :func:`report_progress` calls on this thread to ``callback``.
+
+    Nesting replaces the receiver for the inner scope's duration; leaving
+    the scope always restores the previous one, so an observer can never
+    leak into unrelated work on a reused worker thread.
+    """
+    if not callable(callback):
+        raise TypeError("progress_scope needs a callable callback")
+    stack = getattr(_SCOPES, "stack", None)
+    if stack is None:
+        stack = []
+        _SCOPES.stack = stack
+    stack.append(callback)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def report_progress(**fields: Any) -> None:
+    """Publish one progress checkpoint to the active scope, if any.
+
+    Fields must be JSON-ready (numbers, strings, booleans, lists, dicts) —
+    they travel verbatim into ``GET /v1/jobs/<id>`` payloads.  A callback
+    that raises is swallowed: observation must never change (or break) the
+    observed computation.
+    """
+    callback = current_callback()
+    if callback is None:
+        return
+    try:
+        callback(dict(fields))
+    except Exception:  # noqa: BLE001 - observers must not break producers
+        pass

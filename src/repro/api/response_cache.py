@@ -132,8 +132,38 @@ class ResponseCache:
 
     @property
     def memory_size(self) -> int:
-        """Entries currently resident in the LRU tier."""
-        return len(self._memory)
+        """Entries currently resident in the LRU tier.
+
+        Taken under the cache lock: the metrics endpoint polls this while
+        request threads mutate the ``OrderedDict``, and ``len()`` during a
+        concurrent re-link is exactly the racy read the lock exists for.
+        """
+        with self._lock:
+            return len(self._memory)
+
+    def stats(self) -> dict:
+        """One consistent, JSON-ready snapshot of the cache counters.
+
+        This is what ``GET /v1/metrics`` serves: every counter and the
+        derived hit rate read under one lock acquisition, so the numbers
+        are mutually consistent even under concurrent traffic (counters
+        summed from separate locked reads could tear — e.g. a hit landing
+        between reading ``memory_hits`` and ``misses`` skews the rate).
+        """
+        with self._lock:
+            hits = self.memory_hits + self.disk_hits
+            lookups = hits + self.misses
+            return {
+                "memory_entries": len(self._memory),
+                "lru_size": self.lru_size,
+                "disk_tier": self.directory is not None,
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "corrupt": self.corrupt,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
 
     def clear_memory(self) -> None:
         """Drop the memory tier (the disk tier is untouched)."""

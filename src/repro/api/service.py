@@ -191,7 +191,19 @@ class MixerService:
                 continue
             for index, response in self._run_group(spec, members, workers):
                 responses[index] = response
-        return [response for response in responses if response is not None]
+        # Every request must have produced a response at its own index: a
+        # missing member silently shortening the list would misalign the
+        # request/response pairing for every later member (the /v1/batch
+        # contract is positional), so fail the whole batch loudly instead.
+        missing = [index for index, response in enumerate(responses)
+                   if response is None]
+        if missing:
+            raise RuntimeError(
+                f"batch produced no response for request(s) at index(es) "
+                f"{missing} of {len(batch)}; refusing to return a "
+                f"misaligned response list")
+        assert len(responses) == len(batch)
+        return list(responses)
 
     def _run_group(self, spec: ExperimentSpec,
                    members: list[tuple[int, SpecRequest, str]],
@@ -217,7 +229,13 @@ class MixerService:
         elapsed = time.perf_counter() - started
         out: list[tuple[int, SpecResponse]] = []
         for index, request, key in members:
-            result = results[request.design.fingerprint()]
+            fingerprint = request.design.fingerprint()
+            result = results.get(fingerprint) \
+                if hasattr(results, "get") else results[fingerprint]
+            if result is None:
+                raise RuntimeError(
+                    f"batch runner for {spec.name!r} returned no result for "
+                    f"design {fingerprint[:12]} (request #{index})")
             response = build_result_response(request, spec, result,
                                              source=SOURCE_COMPUTED,
                                              elapsed_s=elapsed,

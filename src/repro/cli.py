@@ -9,6 +9,8 @@ HTTP server consume, built from shell arguments:
     python -m repro.cli run fig8 --grid points=64 --report
     python -m repro.cli run table1 --design my_design.json --json
     python -m repro.cli run fig9 --url http://127.0.0.1:8337   # via a server
+    python -m repro.cli run yield_opt --url ... --job          # async submit
+    python -m repro.cli metrics --url http://127.0.0.1:8337
 
 Without ``--url`` the request runs in-process (a service is built for the
 call); with it, the identical JSON payload is POSTed to a running
@@ -21,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 import urllib.error
 import urllib.request
 from pathlib import Path
@@ -77,16 +80,17 @@ def _build_request(args: argparse.Namespace) -> SpecRequest:
                        cache=args.spec_cache)
 
 
-def _submit_http(url: str, request: SpecRequest) -> SpecResponse:
-    """POST the request to a running ``repro.serve`` instance."""
-    endpoint = url.rstrip("/") + "/v1/spec"
-    body = json.dumps(request.to_dict()).encode("utf-8")
+def _http_json(url: str, payload: dict | None = None,
+               method: str | None = None) -> dict:
+    """One JSON request against a ``repro.serve`` instance, errors mapped."""
     http_request = urllib.request.Request(
-        endpoint, data=body, headers={"Content-Type": "application/json"},
-        method="POST")
+        url, data=json.dumps(payload).encode("utf-8")
+        if payload is not None else None,
+        headers={"Content-Type": "application/json"},
+        method=method or ("POST" if payload is not None else "GET"))
     try:
         with urllib.request.urlopen(http_request) as http_response:
-            payload = json.loads(http_response.read().decode("utf-8"))
+            return json.loads(http_response.read().decode("utf-8"))
     except urllib.error.HTTPError as error:
         detail = error.read().decode("utf-8", "replace")
         try:
@@ -97,8 +101,40 @@ def _submit_http(url: str, request: SpecRequest) -> SpecResponse:
             f"server rejected the request ({error.code}): {detail}") from None
     except urllib.error.URLError as error:
         raise RequestValidationError(
-            f"cannot reach {endpoint}: {error.reason}") from None
+            f"cannot reach {url}: {error.reason}") from None
+
+
+def _submit_http(url: str, request: SpecRequest) -> SpecResponse:
+    """POST the request to a running ``repro.serve`` instance."""
+    payload = _http_json(url.rstrip("/") + "/v1/spec", request.to_dict())
     return SpecResponse.from_dict(payload)
+
+
+def _submit_job(url: str, request: SpecRequest,
+                poll_s: float = 0.5) -> SpecResponse:
+    """Submit via ``POST /v1/jobs`` and poll the job until it finishes.
+
+    Progress checkpoints (yield-opt iterations, sweep shards) print to
+    stderr as they change, so a long search is observable from the shell.
+    """
+    base = url.rstrip("/")
+    job = _http_json(base + "/v1/jobs",
+                     {"request": request.to_dict()})["job"]
+    print(f"job {job['id']} {job['state']}", file=sys.stderr)
+    last_progress = ""
+    while True:
+        job = _http_json(f"{base}/v1/jobs/{job['id']}")["job"]
+        progress = json.dumps(job.get("progress") or {}, sort_keys=True)
+        if progress != last_progress and job.get("progress"):
+            print(f"job {job['id']} {job['state']}: {progress}",
+                  file=sys.stderr)
+            last_progress = progress
+        if job["state"] == "done":
+            return SpecResponse.from_dict(job["result"])
+        if job["state"] == "failed":
+            raise RequestValidationError(
+                f"job {job['id']} failed: {job.get('error')}")
+        time.sleep(poll_s)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -114,10 +150,21 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    payload = _http_json(args.url.rstrip("/") + "/v1/metrics")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     request = _build_request(args)
-    if args.url:
+    if args.url and args.job:
+        response = _submit_job(args.url, request)
+    elif args.url:
         response = _submit_http(args.url, request)
+    elif args.job:
+        raise RequestValidationError("--job needs --url (async jobs are a "
+                                     "server-side surface)")
     else:
         service = MixerService(spec_cache=args.spec_cache,
                                workers=args.workers)
@@ -161,10 +208,20 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--url", default=None,
                             help="send to a running repro.serve instance "
                                  "instead of running in-process")
+    run_parser.add_argument("--job", action="store_true",
+                            help="with --url: submit as an async job and "
+                                 "poll /v1/jobs until it finishes "
+                                 "(progress prints to stderr)")
     run_parser.add_argument("--json", action="store_true",
                             help="print the full JSON response instead of "
                                  "the text report")
     run_parser.set_defaults(handler=_cmd_run)
+
+    metrics_parser = commands.add_parser(
+        "metrics", help="print a running server's /v1/metrics snapshot")
+    metrics_parser.add_argument("--url", required=True,
+                                help="base URL of a repro.serve instance")
+    metrics_parser.set_defaults(handler=_cmd_metrics)
 
     args = parser.parse_args(argv)
     try:

@@ -45,6 +45,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.api.progress import report_progress
 from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
 from repro.devices.technology import Technology
@@ -427,6 +428,16 @@ def run_yield_opt(design: MixerDesign | None = None,
                                                  candidate=champion)
             best_iteration = iteration
         history.append(best_yield)
+
+        # Stream the iteration history to any observer (the async job
+        # surface polls this out of GET /v1/jobs/<id>); pure observation,
+        # the search itself is bit-identical with or without a listener.
+        report_progress(stage="yield_opt", iteration=iteration + 1,
+                        iterations=iterations, best_yield=float(best_yield),
+                        best_label=best_label,
+                        baseline_yield=float(baseline_yield),
+                        evaluations=evaluations,
+                        history=[float(value) for value in history])
 
         center = best_design
         span *= shrink

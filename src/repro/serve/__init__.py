@@ -5,16 +5,27 @@ threaded JSON server exposing the spec service:
 
 * ``GET  /v1/health``       — liveness probe (``{"status": "ok"}``);
 * ``GET  /v1/experiments``  — registry metadata for every experiment;
+* ``GET  /v1/metrics``      — latency histograms, per-experiment counters,
+  response-cache and job-manager stats;
 * ``POST /v1/spec``         — one :class:`~repro.api.request.SpecRequest`
   payload in, one :class:`~repro.api.request.SpecResponse` payload out;
 * ``POST /v1/batch``        — ``{"requests": [...]}`` in, ``{"responses":
-  [...]}`` out, fanned out through :meth:`MixerService.submit_batch`.
+  [...]}`` out, fanned out through :meth:`MixerService.submit_batch`;
+* ``POST /v1/jobs``         — async submit (one request or a batch),
+  ``202`` with a job id;
+* ``GET  /v1/jobs``         — status summaries of the retained jobs;
+* ``GET  /v1/jobs/<id>``    — job status, streamed partial progress
+  (yield-opt iteration history, completed sweep shards), and the result
+  once done.
 
-The handler is a thin codec: all validation, caching and dispatch live in
-the service, so an HTTP response is bit-identical to the in-process call —
-``json`` round-trips every double exactly (asserted in
-``tests/test_serve.py`` and by the CI serve-smoke job).  Request errors map
-to ``400`` with a JSON body naming the problem; unknown paths to ``404``.
+Every request — synchronous or async — flows through one bounded
+:class:`~repro.serve.jobs.JobManager`: ``/v1/spec`` and ``/v1/batch`` are
+thin submit-and-wait wrappers over the same worker pool the job endpoints
+use, so a response is bit-identical to the in-process call (``json``
+round-trips every double exactly; asserted in ``tests/test_serve.py`` and
+by the CI serve-smoke job) while a saturated queue sheds load with ``429``
+instead of queueing unboundedly.  Request errors map to ``400`` with a
+JSON body naming the problem; unknown paths to ``404``.
 """
 
 from __future__ import annotations
@@ -22,23 +33,67 @@ from __future__ import annotations
 import argparse
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.api.request import RequestValidationError, SpecRequest
+from repro.api.request import RequestValidationError
 from repro.api.service import MixerService
+from repro.serve.jobs import (
+    DEFAULT_JOB_WORKERS,
+    DEFAULT_QUEUE_LIMIT,
+    ERROR_VALIDATION,
+    JobManager,
+    JobQueueFullError,
+)
+from repro.serve.metrics import ServerMetrics
+from repro.sweep.parallel import set_pool_reuse, shutdown_shared_pools
 
 #: Upper bound on accepted request bodies (a design payload is ~1 kB; a
 #: thousand-request batch fits comfortably — this only stops abuse).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
-class SpecRequestHandler(BaseHTTPRequestHandler):
-    """Routes the four endpoints onto the shared :class:`MixerService`."""
+class SpecHTTPServer(ThreadingHTTPServer):
+    """Threaded server owning the shared service, job manager and metrics."""
 
-    server_version = "repro-serve/1"
-    #: Set by :func:`create_server`.
-    service: MixerService
+    # http.server's default listen backlog of 5 drops SYNs under a burst of
+    # concurrent clients — each dropped SYN costs the client a ~1s kernel
+    # retransmit before the request even reaches the handler (exposed by
+    # benchmarks/test_bench_serve.py).  Admission control belongs to the
+    # job queue (429), not to silent backlog overflow.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], handler_class,
+                 service: MixerService, verbose: bool = False,
+                 job_workers: int = DEFAULT_JOB_WORKERS,
+                 queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                 reuse_process_pools: bool = False) -> None:
+        super().__init__(address, handler_class)
+        self.service = service
+        self.verbose = verbose
+        self.metrics = ServerMetrics()
+        self.jobs = JobManager(service, workers=job_workers,
+                               queue_limit=queue_limit)
+        self._reuse_pools = bool(reuse_process_pools)
+        if self._reuse_pools:
+            # Engine runs draw from persistent process pools instead of
+            # spinning up a ProcessPoolExecutor per parallel request.
+            set_pool_reuse(True)
+
+    def server_close(self) -> None:
+        self.jobs.shutdown(wait=True)
+        if self._reuse_pools:
+            set_pool_reuse(False)
+            shutdown_shared_pools()
+        super().server_close()
+
+
+class SpecRequestHandler(BaseHTTPRequestHandler):
+    """Routes the endpoints onto the server's shared :class:`JobManager`."""
+
+    server_version = "repro-serve/2"
+    server: SpecHTTPServer
 
     # -- plumbing -------------------------------------------------------------
 
@@ -46,23 +101,38 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: dict[str, str] | None = None) -> int:
         # allow_nan=False guards the wire contract: every payload must be
         # strict RFC 8259 JSON (non-finite floats travel as tagged values,
         # see repro.api.serialization), so a regression raises here instead
         # of emitting a bare Infinity/NaN token no non-Python client parses.
         body = json.dumps(payload, allow_nan=False).encode("utf-8")
+        # From here the status line is on the wire: any later failure must
+        # drop the connection, never write a second response into it.
+        self._headers_sent = True
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+        return status
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(self, status: int, message: str) -> int:
+        headers = {"Retry-After": "1"} if status == 429 else None
+        return self._send_json(status, {"error": message},
+                               extra_headers=headers)
 
     def _read_json_body(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            # A malformed header is the client's error, not a server 500.
+            raise RequestValidationError(
+                f"malformed Content-Length header {raw_length!r}") from None
         if length <= 0:
             raise RequestValidationError("request body must be JSON")
         if length > MAX_BODY_BYTES:
@@ -74,60 +144,168 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             raise RequestValidationError(f"bad JSON body: {error}") from None
 
-    # -- endpoints ------------------------------------------------------------
+    # -- dispatch -------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/v1/health":
-            self._send_json(200, {"status": "ok"})
-        elif self.path == "/v1/experiments":
-            self._send_json(200, {"experiments": self.service.experiments()})
-        else:
-            self._send_error(404, f"unknown path {self.path!r}; endpoints: "
-                             "/v1/health /v1/experiments /v1/spec /v1/batch")
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+    def _endpoint_label(self) -> str:
+        """Metric label: job ids collapse so cardinality stays bounded."""
+        path = self.path.split("?", 1)[0]
+        if path.startswith("/v1/jobs/"):
+            return "/v1/jobs/{id}"
+        known = {"/v1/health", "/v1/experiments", "/v1/metrics",
+                 "/v1/spec", "/v1/batch", "/v1/jobs"}
+        return path if path in known else "(unknown)"
+
+    def _dispatch(self, method: str) -> None:
+        self._headers_sent = False
+        started = time.perf_counter()
+        status = 0
         try:
-            if self.path == "/v1/spec":
-                payload = self._read_json_body()
-                request = SpecRequest.from_dict(payload)
-                response = self.service.submit(request)
-                self._send_json(200, response.to_dict())
-            elif self.path == "/v1/batch":
-                payload = self._read_json_body()
-                if not isinstance(payload, dict) \
-                        or not isinstance(payload.get("requests"), list):
-                    raise RequestValidationError(
-                        "batch body must be {\"requests\": [...]}")
-                requests = [SpecRequest.from_dict(entry)
-                            for entry in payload["requests"]]
-                responses = self.service.submit_batch(requests)
-                self._send_json(200, {"responses": [r.to_dict()
-                                                    for r in responses]})
+            if method == "GET":
+                status = self._route_get()
             else:
-                self._send_error(404, f"unknown path {self.path!r}")
+                status = self._route_post()
         except RequestValidationError as error:
-            self._send_error(400, str(error))
+            status = self._fail(400, str(error))
+        except JobQueueFullError as error:
+            status = self._fail(429, str(error))
         except Exception as error:  # noqa: BLE001 - surface, don't kill thread
-            self._send_error(500, f"{type(error).__name__}: {error}")
+            status = self._fail(500, f"{type(error).__name__}: {error}")
+        finally:
+            self.server.metrics.observe(self._endpoint_label(), status,
+                                        time.perf_counter() - started)
+
+    def _fail(self, status: int, message: str) -> int:
+        """Send an error response — unless one response already started.
+
+        If the failure happened mid-write (client disconnect, an
+        ``allow_nan`` regression after ``send_response``), the status line
+        is already on the wire: writing a second response into the same
+        connection would corrupt the stream for a keep-alive client, so
+        drop the connection instead.
+        """
+        if self._headers_sent:
+            self.close_connection = True
+            self.log_error("response already started; closing connection "
+                           "instead of double-responding: %s", message)
+            return status
+        try:
+            return self._send_error_json(status, message)
+        except OSError:
+            # The client is gone; nothing left to answer.
+            self.close_connection = True
+            return status
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _route_get(self) -> int:
+        path = self.path.split("?", 1)[0]
+        if path == "/v1/health":
+            return self._send_json(200, {"status": "ok"})
+        if path == "/v1/experiments":
+            return self._send_json(
+                200, {"experiments": self.server.service.experiments()})
+        if path == "/v1/metrics":
+            return self._send_json(200, self._metrics_payload())
+        if path == "/v1/jobs":
+            jobs = [job.describe(include_result=False)
+                    for job in self.server.jobs.jobs()]
+            return self._send_json(200, {"jobs": jobs})
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            try:
+                job = self.server.jobs.get(job_id)
+            except KeyError as error:
+                return self._send_error_json(404, str(error))
+            return self._send_json(200, {"job": job.describe()})
+        return self._send_error_json(
+            404, f"unknown path {self.path!r}; endpoints: /v1/health "
+                 "/v1/experiments /v1/metrics /v1/spec /v1/batch /v1/jobs")
+
+    def _route_post(self) -> int:
+        if self.path == "/v1/spec":
+            payload = self._read_json_body()
+            job = self.server.jobs.submit(payload)
+            self._count_experiments(job)
+            return self._finish_sync(self.server.jobs.wait(job))
+        if self.path == "/v1/batch":
+            payload = self._read_json_body()
+            if not isinstance(payload, dict) \
+                    or not isinstance(payload.get("requests"), list):
+                raise RequestValidationError(
+                    "batch body must be {\"requests\": [...]}")
+            job = self.server.jobs.submit_batch(payload["requests"])
+            self._count_experiments(job)
+            return self._finish_sync(self.server.jobs.wait(job))
+        if self.path == "/v1/jobs":
+            payload = self._read_json_body()
+            if not isinstance(payload, dict):
+                raise RequestValidationError(
+                    "job submit body must be {\"request\": {...}} or "
+                    "{\"requests\": [...]}")
+            if "request" in payload:
+                job = self.server.jobs.submit(payload["request"])
+            elif isinstance(payload.get("requests"), list):
+                job = self.server.jobs.submit_batch(payload["requests"])
+            else:
+                raise RequestValidationError(
+                    "job submit body must be {\"request\": {...}} or "
+                    "{\"requests\": [...]}")
+            self._count_experiments(job)
+            return self._send_json(202,
+                                   {"job": job.describe(include_result=False)})
+        return self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def _count_experiments(self, job) -> None:
+        for name in job.experiments:
+            self.server.metrics.count_experiment(name)
+
+    def _finish_sync(self, job) -> int:
+        """Render a finished job as the synchronous endpoints always did.
+
+        A validation failure is the client's fault (400), anything else is
+        the server's (500); a done spec job's ``result`` *is* the response
+        payload, so the sync wire format is unchanged down to the byte.
+        """
+        if job.state == "failed":
+            status = 400 if job.error_kind == ERROR_VALIDATION else 500
+            return self._send_error_json(status, job.error)
+        return self._send_json(200, job.result)
+
+    def _metrics_payload(self) -> dict:
+        payload = self.server.metrics.snapshot()
+        payload["jobs"] = self.server.jobs.stats()
+        cache = self.server.service.response_cache
+        payload["response_cache"] = cache.stats() if cache is not None \
+            else None
+        return payload
 
 
 def create_server(host: str = "127.0.0.1", port: int = 0,
                   service: MixerService | None = None,
-                  verbose: bool = False) -> ThreadingHTTPServer:
+                  verbose: bool = False,
+                  job_workers: int = DEFAULT_JOB_WORKERS,
+                  queue_limit: int = DEFAULT_QUEUE_LIMIT,
+                  reuse_process_pools: bool = False) -> SpecHTTPServer:
     """A ready-to-serve HTTP server bound to ``host:port`` (0 = ephemeral).
 
     The returned server's ``server_address`` carries the actually bound
     port; call ``serve_forever()`` (or wrap in a thread for tests).
+    ``job_workers`` bounds concurrent engine runs, ``queue_limit`` bounds
+    waiting jobs (beyond it submits shed with 429), and
+    ``reuse_process_pools`` keeps the sweep engine's process pools alive
+    across requests (``python -m repro.serve`` turns it on).
     """
     shared = service if service is not None else MixerService()
-
-    class _Handler(SpecRequestHandler):
-        pass
-
-    _Handler.service = shared
-    server = ThreadingHTTPServer((host, port), _Handler)
-    server.verbose = verbose  # type: ignore[attr-defined]
-    return server
+    return SpecHTTPServer((host, port), SpecRequestHandler, shared,
+                          verbose=verbose, job_workers=job_workers,
+                          queue_limit=queue_limit,
+                          reuse_process_pools=reuse_process_pools)
 
 
 def serve_in_thread(server: ThreadingHTTPServer) -> threading.Thread:
@@ -148,6 +326,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="bind port; 0 picks a free one (default 8337)")
     parser.add_argument("--workers", type=int, default=None,
                         help="default sweep-engine worker count")
+    parser.add_argument("--job-workers", type=int,
+                        default=DEFAULT_JOB_WORKERS,
+                        help="job-manager worker threads — bounds how many "
+                             "requests compute at once (default "
+                             f"{DEFAULT_JOB_WORKERS})")
+    parser.add_argument("--queue-limit", type=int,
+                        default=DEFAULT_QUEUE_LIMIT,
+                        help="max queued jobs before submits shed with 429 "
+                             f"(default {DEFAULT_QUEUE_LIMIT})")
     parser.add_argument("--spec-cache", default=None, metavar="DIR",
                         help="on-disk spec cache directory for the engine")
     parser.add_argument("--response-cache", default=None, metavar="DIR",
@@ -162,7 +349,10 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
     )
     server = create_server(args.host, args.port, service=service,
-                           verbose=args.verbose)
+                           verbose=args.verbose,
+                           job_workers=args.job_workers,
+                           queue_limit=args.queue_limit,
+                           reuse_process_pools=True)
     host, port = server.server_address[:2]
     # The smoke harness parses this line to find an ephemeral port.
     print(f"serving on http://{host}:{port}", flush=True)

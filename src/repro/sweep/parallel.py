@@ -27,17 +27,90 @@ skips every bisection that any previous run or shard already paid for.
 from __future__ import annotations
 
 import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
+from repro.api.progress import report_progress
 from repro.core.config import MixerDesign, MixerMode
 from repro.sweep.cache import SpecCache, resolve_cache
 from repro.sweep.grid import DESIGN_AXIS, IF_AXIS, RF_AXIS, SweepAxis
 from repro.sweep.result import SweepResult
 from repro.sweep.runner import DEFAULT_SPECS, SweepRunner
+
+# -- shared process pools ------------------------------------------------------
+#
+# A ProcessPoolExecutor is expensive to spin up (one interpreter fork/spawn
+# per worker), and the historical behaviour — every ParallelSweepRunner.run
+# building and tearing down its own pool — made a busy server pay that cost
+# on every parallel request.  With reuse enabled, pools are process-wide
+# singletons keyed by worker count, built on first use and handed out to
+# every subsequent run; `Executor` instances are thread-safe, so concurrent
+# jobs interleave their shard maps safely.  Reuse is opt-in (the serving
+# layer enables it) because a long-lived pool is server behaviour: one-shot
+# scripts and tests should not leave idle worker processes behind.
+# Bit-identity is untouched either way — `pool.map` preserves task order and
+# every shard runs exactly the same code path.
+
+_POOLS_LOCK = threading.Lock()
+_SHARED_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOL_REUSE = False
+
+
+def set_pool_reuse(enabled: bool) -> None:
+    """Turn process-pool reuse on or off for this process.
+
+    The serving layer calls ``set_pool_reuse(True)`` at startup so every
+    parallel run (sweep and waveform alike) draws from one persistent pool
+    per worker count instead of spinning up its own.
+    """
+    global _POOL_REUSE
+    _POOL_REUSE = bool(enabled)
+
+
+def pool_reuse_enabled() -> bool:
+    """Whether parallel runs currently draw from the shared pools."""
+    return _POOL_REUSE
+
+
+def shared_executor(max_workers: int) -> ProcessPoolExecutor:
+    """The process-wide executor for ``max_workers``, built on first use."""
+    if max_workers < 1:
+        raise ValueError("max_workers must be at least 1")
+    with _POOLS_LOCK:
+        pool = _SHARED_POOLS.get(max_workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            _SHARED_POOLS[max_workers] = pool
+        return pool
+
+
+def shutdown_shared_pools(wait: bool = True) -> None:
+    """Tear down every shared pool (server shutdown / test cleanup)."""
+    with _POOLS_LOCK:
+        pools = list(_SHARED_POOLS.values())
+        _SHARED_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+@contextmanager
+def executor_for(max_workers: int) -> Iterator[ProcessPoolExecutor]:
+    """A pool for one parallel run: shared when reuse is on, private else.
+
+    Private pools are torn down on exit exactly as before; shared pools
+    outlive the run (that is the point) and are closed by
+    :func:`shutdown_shared_pools`.
+    """
+    if _POOL_REUSE:
+        yield shared_executor(max_workers)
+        return
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        yield pool
 
 
 @dataclass(frozen=True)
@@ -157,8 +230,18 @@ class ParallelSweepRunner:
                 modes=tuple(mode_members),
                 cache_dir=cache_dir,
             ))
-        with ProcessPoolExecutor(max_workers=shard_count) as pool:
-            shards = list(pool.map(_run_shard, tasks))
+        shards: list[SweepResult] = []
+        designs_done = 0
+        with executor_for(shard_count) as pool:
+            for task, shard in zip(tasks, pool.map(_run_shard, tasks)):
+                shards.append(shard)
+                designs_done += len(task.labels)
+                # Completed shards are partial progress the job surface can
+                # stream; with no observer this is a thread-local no-op.
+                report_progress(stage="sweep", shards_done=len(shards),
+                                shards_total=len(tasks),
+                                designs_done=designs_done,
+                                designs_total=len(records))
         return SweepResult.concat(shards, axis=DESIGN_AXIS)
 
 

@@ -23,13 +23,14 @@ every other.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.progress import report_progress
 from repro.core.config import MixerDesign, MixerMode
 from repro.sweep.grid import DESIGN_AXIS, SweepAxis
+from repro.sweep.parallel import executor_for
 from repro.waveform.cache import WaveformCache, resolve_waveform_cache
 from repro.waveform.engine import WaveformRunner
 from repro.waveform.plan import StimulusPlan
@@ -118,8 +119,20 @@ class ParallelWaveformRunner:
                 modes=tuple(members),
                 cache_dir=cache_dir,
             ))
-        with ProcessPoolExecutor(max_workers=shard_count) as pool:
-            shards = list(pool.map(_run_waveform_shard, tasks))
+        shards: list[WaveformResult] = []
+        designs_done = 0
+        # Pools come from the shared sweep-layer registry when reuse is on
+        # (the serving layer's configuration), else one private pool as
+        # before; completed shards stream as job progress either way.
+        with executor_for(shard_count) as pool:
+            for task, shard in zip(tasks,
+                                   pool.map(_run_waveform_shard, tasks)):
+                shards.append(shard)
+                designs_done += len(task.labels)
+                report_progress(stage="waveform", shards_done=len(shards),
+                                shards_total=len(tasks),
+                                designs_done=designs_done,
+                                designs_total=len(records))
         return WaveformResult.concat(shards, axis=DESIGN_AXIS)
 
 

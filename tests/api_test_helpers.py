@@ -8,7 +8,11 @@ live in ``tests/conftest.py``.
 
 from __future__ import annotations
 
-from repro.api import SpecRequest
+import threading
+from dataclasses import dataclass
+
+from repro.api import SpecRequest, register_payload_type, report_progress
+from repro.api.registry import ExperimentRegistry, ExperimentSpec
 from repro.core.config import MixerDesign, MixerMode
 from repro.optimize import default_targets
 
@@ -48,3 +52,80 @@ def small_request(name: str, design: MixerDesign | None = None) -> SpecRequest:
     return SpecRequest(experiment=name,
                        design=design if design is not None else MixerDesign(),
                        grid=SMALL_GRIDS[name])
+
+
+# -- controllable fake experiments for job/concurrency tests ------------------
+
+@dataclass
+class EchoResult:
+    """Trivial result payload for the injected test experiments."""
+
+    label: str
+    value: float
+
+
+register_payload_type(EchoResult)
+
+#: Named gates the ``echo`` runner can block on — lets a test hold a job
+#: in the running state deterministically, observe it, then release it.
+GATES: dict[str, threading.Event] = {}
+
+
+def open_gate(name: str) -> threading.Event:
+    """(Re)create the named gate in the closed state."""
+    GATES[name] = threading.Event()
+    return GATES[name]
+
+
+def _run_echo(design: MixerDesign, *, value: float = 1.0, fail: bool = False,
+              gate: str = "", drop_nth: int = -1) -> EchoResult:
+    # drop_nth only means something to the batch runner; the solo runner
+    # accepts it so single-member echo_batch groups still dispatch.
+    del drop_nth
+    if gate:
+        report_progress(stage="echo", gate=gate, checkpoint=1)
+        GATES[gate].wait(timeout=30)
+    if fail:
+        raise RuntimeError("injected runner failure")
+    return EchoResult(label=design.fingerprint()[:12], value=float(value))
+
+
+def _batch_echo(designs, *, value: float = 1.0, fail: bool = False,
+                gate: str = "", drop_nth: int = -1):
+    """Batch runner that can drop (or ``None`` out) one member's result."""
+    results = {}
+    for index, (fingerprint, design) in enumerate(designs.items()):
+        if index == drop_nth:
+            results[fingerprint] = None  # an omitted member behaves the same
+            continue
+        results[fingerprint] = _run_echo(design, value=value, fail=fail,
+                                         gate=gate)
+    return results
+
+
+def _report_echo(result: EchoResult) -> str:
+    return f"echo {result.label}: {result.value}"
+
+
+def echo_registry() -> ExperimentRegistry:
+    """A registry with controllable experiments (block/fail/drop on demand).
+
+    ``echo`` is a plain experiment; ``echo_batch`` adds a batch runner whose
+    ``drop_nth`` grid knob injects a per-member failure — the scenario the
+    batch-alignment fix must turn into a loud error, never a silently
+    shortened response list.
+    """
+    registry = ExperimentRegistry()
+    grid = {"value": 1.0, "fail": False, "gate": ""}
+    registry.register(ExperimentSpec(
+        name="echo", artefact="test fixture", summary="controllable runner",
+        runner=_run_echo, result_type=EchoResult, report=_report_echo,
+        default_grid=grid, accepts_workers=False, accepts_cache=False))
+    registry.register(ExperimentSpec(
+        name="echo_batch", artefact="test fixture",
+        summary="controllable batch runner", runner=_run_echo,
+        result_type=EchoResult, report=_report_echo,
+        default_grid={**grid, "drop_nth": -1},
+        accepts_workers=False, accepts_cache=False,
+        batch_runner=_batch_echo))
+    return registry

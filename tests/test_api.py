@@ -281,6 +281,35 @@ class TestBatchSubmission:
                                   solo.passive_gain_db)
 
 
+class TestBatchAlignment:
+    """submit_batch must never return a silently shortened/misaligned list."""
+
+    def _echo_service(self):
+        from api_test_helpers import echo_registry
+        return MixerService(registry=echo_registry(), response_cache=False)
+
+    def _requests(self, drop_nth: int = -1) -> list[SpecRequest]:
+        designs = [MixerDesign(),
+                   MixerDesign().with_gain_setting(1.05),
+                   MixerDesign().with_gain_setting(1.10)]
+        return [SpecRequest(experiment="echo_batch", design=design,
+                            grid={"drop_nth": drop_nth})
+                for design in designs]
+
+    def test_order_preserved_across_batch_group(self):
+        service = self._echo_service()
+        requests = self._requests()
+        responses = service.submit_batch(requests)
+        assert len(responses) == len(requests)
+        assert [r.design_fingerprint for r in responses] == \
+            [request.design.fingerprint() for request in requests]
+
+    def test_dropped_member_raises_instead_of_misaligning(self):
+        service = self._echo_service()
+        with pytest.raises(RuntimeError, match="returned no result"):
+            service.submit_batch(self._requests(drop_nth=1))
+
+
 class TestDesignRoundTrip:
     def test_fingerprint_preserved_bit_exactly(self):
         design = MixerDesign()

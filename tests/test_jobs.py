@@ -1,0 +1,302 @@
+"""Tests for the async job manager and the progress-reporting channel.
+
+The serve-layer HTTP tests (``tests/test_serve.py``) cover the endpoints;
+this module covers the machinery underneath: :mod:`repro.api.progress`
+scoping semantics, :class:`repro.serve.jobs.JobManager` lifecycle /
+backpressure / failure classification, the locked
+:meth:`ResponseCache.stats` snapshot, and shared process-pool reuse in the
+sweep engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import MixerService, SpecRequest, progress_scope
+from repro.api.progress import current_callback, report_progress
+from repro.api.request import RequestValidationError
+from repro.api.response_cache import ResponseCache
+from repro.serve.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    JobManager,
+    JobQueueFullError,
+)
+
+from api_test_helpers import echo_registry, open_gate
+
+#: Generous bound for job completion in tests; real runs take milliseconds.
+WAIT_S = 30.0
+
+
+@pytest.fixture()
+def manager():
+    manager = JobManager(MixerService(registry=echo_registry()),
+                         workers=2, queue_limit=4)
+    yield manager
+    manager.shutdown()
+
+
+def echo(value: float, **grid) -> SpecRequest:
+    return SpecRequest(experiment="echo", grid={"value": value, **grid})
+
+
+class TestProgressScope:
+    def test_noop_without_scope(self):
+        assert current_callback() is None
+        report_progress(anything=1)  # must not raise
+
+    def test_scope_routes_and_restores(self):
+        seen: list[dict] = []
+        with progress_scope(seen.append):
+            report_progress(step=1)
+            report_progress(step=2, extra="x")
+        report_progress(step=3)  # after the scope: dropped
+        assert seen == [{"step": 1}, {"step": 2, "extra": "x"}]
+        assert current_callback() is None
+
+    def test_nested_scope_shadows_outer(self):
+        outer: list[dict] = []
+        inner: list[dict] = []
+        with progress_scope(outer.append):
+            report_progress(level="outer")
+            with progress_scope(inner.append):
+                report_progress(level="inner")
+            report_progress(level="outer-again")
+        assert [f["level"] for f in outer] == ["outer", "outer-again"]
+        assert [f["level"] for f in inner] == ["inner"]
+
+    def test_observer_errors_are_swallowed(self):
+        def bad(_fields: dict) -> None:
+            raise ValueError("observer bug")
+
+        with progress_scope(bad):
+            report_progress(step=1)  # must not raise
+
+    def test_scopes_are_per_thread(self):
+        seen: list[dict] = []
+        leaked: list[dict] = []
+
+        def other_thread() -> None:
+            with progress_scope(leaked.append):
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=other_thread)
+        with progress_scope(seen.append):
+            thread.start()
+            report_progress(mine=True)
+            thread.join()
+        assert seen == [{"mine": True}]
+        assert leaked == []
+
+
+class TestJobLifecycle:
+    def test_submit_wait_done_result_matches_sync(self, manager):
+        job = manager.submit(echo(2.5))
+        manager.wait(job, timeout=WAIT_S)
+        assert job.state == JOB_DONE
+        expected = manager.service.submit(echo(2.5)).to_dict()
+        assert job.result["result"] == expected["result"]
+        assert job.result["result_schema"] == "EchoResult"
+
+    def test_describe_shape(self, manager):
+        job = manager.submit(echo(1.25))
+        manager.wait(job, timeout=WAIT_S)
+        payload = job.describe()
+        assert payload["state"] == JOB_DONE
+        assert payload["kind"] == "spec"
+        assert payload["experiments"] == ["echo"]
+        assert payload["queued_s"] >= 0.0
+        assert payload["running_s"] >= 0.0
+        assert payload["result"]["result"]["fields"]["value"] == 1.25
+        summary = job.describe(include_result=False)
+        assert "result" not in summary
+
+    def test_batch_job_preserves_order(self, manager):
+        job = manager.submit_batch([echo(float(v)).to_dict()
+                                    for v in (3.0, 1.0, 2.0)])
+        manager.wait(job, timeout=WAIT_S)
+        assert job.state == JOB_DONE
+        values = [entry["result"]["fields"]["value"]
+                  for entry in job.result["responses"]]
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_malformed_submit_is_synchronous_validation_error(self, manager):
+        with pytest.raises(RequestValidationError):
+            manager.submit({"no_experiment": True})
+        with pytest.raises(RequestValidationError):
+            manager.submit_batch("not-a-list")
+        assert manager.stats()["submitted"] == 0
+
+    def test_unknown_experiment_fails_as_validation(self, manager):
+        job = manager.submit({"experiment": "fig99"})
+        manager.wait(job, timeout=WAIT_S)
+        assert job.state == JOB_FAILED
+        assert job.error_kind == "validation"
+        assert "unknown experiment" in job.error
+
+    def test_runner_exception_fails_as_internal(self, manager):
+        job = manager.submit(echo(1.0, fail=True))
+        manager.wait(job, timeout=WAIT_S)
+        assert job.state == JOB_FAILED
+        assert job.error_kind == "internal"
+        assert "injected runner failure" in job.error
+
+    def test_progress_visible_while_running(self, manager):
+        gate = open_gate("jobs-progress")
+        job = manager.submit(echo(4.0, gate="jobs-progress"))
+        deadline = time.monotonic() + WAIT_S
+        while not job.progress and time.monotonic() < deadline:
+            time.sleep(0.005)
+        try:
+            assert job.state == "running"
+            assert job.progress["stage"] == "echo"
+            assert job.progress["gate"] == "jobs-progress"
+            assert job.result is None
+        finally:
+            gate.set()
+        manager.wait(job, timeout=WAIT_S)
+        assert job.state == JOB_DONE
+        # The last progress snapshot survives completion for late pollers.
+        assert job.progress["checkpoint"] == 1
+
+
+class TestBackpressure:
+    def test_queue_bound_sheds_with_error(self):
+        manager = JobManager(MixerService(registry=echo_registry()),
+                             workers=1, queue_limit=2)
+        gate = open_gate("jobs-shed")
+        try:
+            running = manager.submit(echo(1.0, gate="jobs-shed"))
+            deadline = time.monotonic() + WAIT_S
+            while running.state != "running" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.005)
+            queued = [manager.submit(echo(float(i))) for i in (2, 3)]
+            with pytest.raises(JobQueueFullError):
+                manager.submit(echo(9.0))
+            stats = manager.stats()
+            assert stats["shed"] == 1
+            assert stats["queued"] == 2
+            assert stats["running"] == 1
+        finally:
+            gate.set()
+        for job in [running, *queued]:
+            manager.wait(job, timeout=WAIT_S)
+            assert job.state == JOB_DONE
+        manager.shutdown()
+
+    def test_finished_jobs_evicted_past_history_limit(self):
+        manager = JobManager(MixerService(registry=echo_registry()),
+                             workers=1, queue_limit=8, history_limit=2)
+        jobs = []
+        for value in range(5):
+            job = manager.submit(echo(float(value)))
+            manager.wait(job, timeout=WAIT_S)
+            jobs.append(job)
+        # Eviction happens on submit; one more pushes the oldest out.
+        trigger = manager.submit(echo(99.0))
+        manager.wait(trigger, timeout=WAIT_S)
+        with pytest.raises(KeyError):
+            manager.get(jobs[0].id)
+        assert manager.get(trigger.id) is trigger
+        manager.shutdown()
+
+
+class TestYieldOptProgress:
+    def test_iteration_history_streams(self):
+        from repro.optimize import run_yield_opt
+        from api_test_helpers import ACTIVE_TARGETS
+
+        seen: list[dict] = []
+        with progress_scope(seen.append):
+            result = run_yield_opt(population=2, iterations=2, num_samples=2,
+                                   targets=ACTIVE_TARGETS)
+        iteration_frames = [f for f in seen if f.get("stage") == "yield_opt"]
+        assert [f["iteration"] for f in iteration_frames] == [1, 2]
+        assert [len(f["history"]) for f in iteration_frames] == [1, 2]
+        # The streamed history is exactly the result's history, as it grew.
+        assert iteration_frames[-1]["history"] == list(result.history)
+        assert iteration_frames[-1]["best_yield"] == result.best_yield
+
+
+class TestResponseCacheStats:
+    def test_stats_snapshot_counts(self, tmp_path):
+        cache = ResponseCache(tmp_path, lru_size=4)
+        entry = {"request_key": "k1", "payload": 1}
+        assert cache.load("k1") is None
+        cache.store("k1", entry)
+        assert cache.load("k1") == (entry, "memory")
+        cache.clear_memory()
+        assert cache.load("k1") == (entry, "disk")
+        stats = cache.stats()
+        assert stats == {
+            "memory_entries": 1,
+            "lru_size": 4,
+            "disk_tier": True,
+            "memory_hits": 1,
+            "disk_hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "corrupt": 0,
+            "hit_rate": 2 / 3,
+        }
+
+    def test_memory_size_and_stats_under_concurrent_traffic(self):
+        cache = ResponseCache(lru_size=8)
+        stop = threading.Event()
+
+        def writer() -> None:
+            index = 0
+            while not stop.is_set():
+                key = f"k{index % 16}"
+                cache.store(key, {"request_key": key})
+                cache.load(key)
+                index += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                assert 0 <= cache.memory_size <= 8
+                stats = cache.stats()
+                assert stats["memory_entries"] <= 8
+                assert stats["hit_rate"] <= 1.0
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+class TestSharedPools:
+    def test_reuse_is_bit_identical_and_reuses_executor(self):
+        import numpy as np
+        from repro.sweep.parallel import (
+            ParallelSweepRunner,
+            pool_reuse_enabled,
+            set_pool_reuse,
+            shared_executor,
+            shutdown_shared_pools,
+        )
+        from repro.core.config import MixerDesign
+
+        designs = {"a": MixerDesign(),
+                   "b": MixerDesign().with_gain_setting(1.05)}
+        runner = ParallelSweepRunner(workers=2, cache=False)
+        baseline = runner.run(rf_frequencies=[2.4e9], designs=designs)
+        assert not pool_reuse_enabled()
+        set_pool_reuse(True)
+        try:
+            first_pool = shared_executor(2)
+            shared = runner.run(rf_frequencies=[2.4e9], designs=designs)
+            assert shared_executor(2) is first_pool  # reused, not respawned
+            for spec in baseline.spec_names:
+                np.testing.assert_array_equal(shared.data[spec],
+                                              baseline.data[spec])
+        finally:
+            set_pool_reuse(False)
+            shutdown_shared_pools()

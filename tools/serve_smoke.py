@@ -20,7 +20,12 @@ request shapes:
   must not change a single double either;
 * ``POST /v1/spec`` with a small ``yield_opt`` search vs a direct
   :func:`repro.optimize.run_yield_opt` call — the corner-aware optimiser
-  must be servable bit-identically like every other experiment.
+  must be servable bit-identically like every other experiment;
+* ``POST /v1/jobs`` submit -> ``GET /v1/jobs/<id>`` poll -> result with a
+  second ``yield_opt`` search — the async surface must report progress
+  while running and finish with the same bit-identical payload;
+* ``GET /v1/metrics`` — the latency/counter snapshot must account for the
+  traffic this script just generated.
 
 Any difference — a float, an axis label, a schema field — is a failure.
 
@@ -91,6 +96,11 @@ def post_json(url: str, payload: dict) -> dict:
         url, data=json.dumps(payload).encode("utf-8"),
         headers={"Content-Type": "application/json"}, method="POST")
     with urllib.request.urlopen(request, timeout=300) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as response:
         return json.loads(response.read().decode("utf-8"))
 
 
@@ -244,6 +254,90 @@ def check_yield_opt(base_url: str) -> int:
     return 0
 
 
+def check_jobs_async(base_url: str) -> int:
+    """Submit -> poll -> result through the async job surface."""
+    from repro.api import SpecRequest, encode
+    from repro.core.config import MixerMode
+    from repro.optimize import default_targets, run_yield_opt
+
+    # A different seed than check_yield_opt's request, so the job cannot be
+    # answered from the response cache: it must really run, and the poll
+    # loop gets to observe it doing so.
+    grid = dict(YIELD_GRID, seed=7)
+    grid["targets"] = [target.to_wire() for target in default_targets()
+                       if target.mode is MixerMode.ACTIVE]
+    request = SpecRequest(experiment="yield_opt", grid=grid)
+    job = post_json(base_url + "/v1/jobs",
+                    {"request": request.to_dict()})["job"]
+    if job.get("state") not in ("queued", "running"):
+        print(f"FAIL: submitted job in unexpected state {job.get('state')!r}",
+              file=sys.stderr)
+        return 1
+    progress_frames = 0
+    last_progress = ""
+    deadline = time.monotonic() + 300
+    while True:
+        if time.monotonic() > deadline:
+            print(f"FAIL: job {job['id']} never finished", file=sys.stderr)
+            return 1
+        job = get_json(f"{base_url}/v1/jobs/{job['id']}")["job"]
+        progress = json.dumps(job.get("progress") or {}, sort_keys=True)
+        if job.get("progress") and progress != last_progress:
+            progress_frames += 1
+            last_progress = progress
+        if job["state"] in ("done", "failed"):
+            break
+        time.sleep(0.05)
+    if job["state"] != "done":
+        print(f"FAIL: job ended {job['state']}: {job.get('error')}",
+              file=sys.stderr)
+        return 1
+    if job["result"]["result"] != encode(run_yield_opt(**grid)):
+        print("FAIL: async job yield_opt payload differs from "
+              "run_yield_opt()", file=sys.stderr)
+        return 1
+    final = job.get("progress", {})
+    if final.get("iteration") != grid["iterations"] \
+            or len(final.get("history", [])) != grid["iterations"]:
+        print(f"FAIL: job progress never reached the final iteration "
+              f"(last frame: {final})", file=sys.stderr)
+        return 1
+    print(f"serve smoke OK: /v1/jobs submit->poll->result is bit-identical "
+          f"to run_yield_opt() [{progress_frames} progress frame(s), "
+          f"ran {job['running_s']:.2f}s]")
+    return 0
+
+
+def check_metrics(base_url: str) -> int:
+    """The metrics snapshot must account for the traffic generated above."""
+    snapshot = get_json(base_url + "/v1/metrics")
+    problems = []
+    spec = snapshot.get("requests", {}).get("/v1/spec", {})
+    if spec.get("count", 0) < 1:
+        problems.append("no /v1/spec observations")
+    if spec.get("latency_le_s", {}).get("+Inf") != spec.get("count"):
+        problems.append("latency histogram +Inf bucket != request count")
+    if snapshot.get("experiments", {}).get("yield_opt", 0) < 2:
+        problems.append("yield_opt experiment counter below 2")
+    jobs = snapshot.get("jobs", {})
+    if jobs.get("completed", 0) < 1 or jobs.get("failed", 0) != 0:
+        problems.append(f"unexpected job counters: {jobs}")
+    cache = snapshot.get("response_cache") or {}
+    if cache.get("stores", 0) < 1:
+        problems.append("response cache recorded no stores")
+    if snapshot.get("load_shed_total", 0) != 0:
+        problems.append("server shed load during the smoke run")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: /v1/metrics: {problem}", file=sys.stderr)
+        return 1
+    print(f"serve smoke OK: /v1/metrics accounts for the run "
+          f"[{spec['count']} /v1/spec request(s), "
+          f"{jobs['completed']} job(s) completed, "
+          f"cache hit rate {cache['hit_rate']:.0%}]")
+    return 0
+
+
 def main() -> int:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
@@ -259,6 +353,8 @@ def main() -> int:
         status = status or check_batch_population(base_url)
         status = status or check_waveform_batch(base_url)
         status = status or check_yield_opt(base_url)
+        status = status or check_jobs_async(base_url)
+        status = status or check_metrics(base_url)
         return status
     finally:
         process.terminate()
