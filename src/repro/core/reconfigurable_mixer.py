@@ -44,6 +44,7 @@ from repro.core.switches import PmosSwitch
 from repro.core.switching_quad import LoDrive, SwitchingQuad
 from repro.core.tia import TransimpedanceAmplifier
 from repro.core.transconductance import TransconductanceAmplifier
+from repro.devices.mosfet import Mosfet
 from repro.rf.conversion_gain import SWITCHING_FACTOR
 from repro.rf.filters import FirstOrderLowPass
 from repro.rf.noise_figure import nf_with_flicker, noise_figure_from_factor
@@ -203,6 +204,24 @@ class ReconfigurableMixer:
         return self._tca_active if self._mode is MixerMode.ACTIVE \
             else self._tca_passive
 
+    def gm_device_sized(self) -> bool:
+        """Whether both TCA configurations already hold a solved Gm device."""
+        return self._tca_active.device_sized and self._tca_passive.device_sized
+
+    def seed_gm_width(self, width: float) -> None:
+        """Install an externally solved Gm-device width (batched sizing).
+
+        The width solve depends only on the design record — not on the mode
+        or the degeneration — so one :func:`~repro.core.transconductance.\
+solve_widths` element seeds both TCA configurations with one shared
+        (immutable) device instance, exactly the device each lazy scalar
+        solve would have produced.
+        """
+        device = Mosfet.nmos(float(width), self.design.gm_device_length,
+                             self.design.technology)
+        self._tca_active.seed_device(device)
+        self._tca_passive.seed_device(device)
+
     @cached_property
     def switching_quad(self) -> SwitchingQuad:
         """The LO-commutated switching core."""
@@ -286,6 +305,15 @@ class ReconfigurableMixer:
         if not isinstance(intermediates, SpecIntermediates):
             raise TypeError("seed_intermediates() needs a SpecIntermediates")
         self._intermediates[intermediates.mode] = intermediates
+
+    def peek_intermediates(self, mode: MixerMode) -> SpecIntermediates | None:
+        """The memoized intermediates for ``mode``, or ``None`` if unsolved.
+
+        A pure read: unlike :meth:`spec_intermediates` this never computes,
+        so the sweep engine's pre-sizing pass can test cache coverage
+        without triggering the very solves it is trying to batch.
+        """
+        return self._intermediates.get(mode)
 
     def _compute_intermediates(self) -> SpecIntermediates:
         iip3 = self._compute_iip3_dbm()

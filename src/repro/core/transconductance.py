@@ -22,24 +22,104 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Sequence
 
 import numpy as np
 
-from repro.devices.mosfet import Mosfet, MosfetOperatingPoint
+from repro.devices.mosfet import Mosfet, MosfetArray, MosfetOperatingPoint
 from repro.devices.noise import FlickerNoise, ThermalNoise
 from repro.devices.technology import Technology
 from repro.units import REFERENCE_IMPEDANCE, dbm_from_vpeak
 from repro.core.config import MixerDesign
 
-#: Process-wide count of width-bisection sizing solves.  The on-disk spec
-#: cache exists to avoid these; tests and benchmarks read the counter to
-#: prove a warm-cache run performs none.
+#: Process-wide count of width-bisection sizing solves (one per device
+#: sized, whether it went through the scalar or the batched path).  The
+#: on-disk spec cache exists to avoid these; tests and benchmarks read the
+#: counter to prove a warm-cache run performs none.
 _SIZING_SOLVES = 0
+
+#: Process-wide count of batched :func:`solve_widths` calls.  One call sizes
+#: a whole design block, so the batched counter grows by 1 where
+#: ``_SIZING_SOLVES`` grows by the block length.
+_BATCHED_SIZING_SOLVES = 0
 
 
 def sizing_solve_count() -> int:
-    """How many device sizing bisections this process has performed."""
+    """How many device sizing bisections this process has performed.
+
+    Counts per *device*: a batched :func:`solve_widths` over N designs adds
+    N, exactly what the equivalent scalar loop would have added — so the
+    warm-cache "zero bisections" gates hold regardless of which solver a
+    cold run used.
+    """
     return _SIZING_SOLVES
+
+
+def batched_sizing_solve_count() -> int:
+    """How many batched :func:`solve_widths` calls this process has made."""
+    return _BATCHED_SIZING_SOLVES
+
+
+def solve_widths(designs: Sequence[MixerDesign],
+                 labels: Sequence[str] | None = None) -> np.ndarray:
+    """Batch-solve the Gm-device width for a whole block of designs.
+
+    The array twin of :meth:`TransconductanceAmplifier._size_device`: one
+    80-step geometric-mean bisection on width steps every design together
+    through a :class:`~repro.devices.mosfet.MosfetArray`, with the inner
+    bias solve (:meth:`MosfetArray.vgs_for_current`) masking converged
+    elements so each design retraces the scalar solver's iterate sequence
+    exactly.  The returned widths are **bit-identical** to N scalar solves
+    (same bracket ``[2e-6, 2000e-6]``, same ``sqrt(lo * hi)`` midpoint, same
+    comparison outcomes), which is what keeps the golden spec pins unchanged
+    when the sweep engine pre-sizes design blocks through this path.
+
+    ``labels`` (optional, one per design) names offending designs in the
+    ``target gm unreachable`` error; unlabeled designs are named by index
+    and fingerprint.  Raises :class:`ValueError` listing every unreachable
+    element.  Counts ``len(designs)`` device solves and one batched solve.
+    """
+    global _SIZING_SOLVES, _BATCHED_SIZING_SOLVES
+    records = list(designs)
+    if labels is not None and len(labels) != len(records):
+        raise ValueError(
+            f"got {len(labels)} labels for {len(records)} designs")
+    if not records:
+        return np.empty(0, dtype=float)
+
+    lengths = np.array([r.gm_device_length for r in records], dtype=float)
+    technologies = [r.technology for r in records]
+    targets = np.array([r.tca_gm for r in records], dtype=float)
+    bias = np.array([r.tca_bias_current / 2.0 for r in records], dtype=float)
+    vds = np.array([r.technology.mid_rail for r in records], dtype=float)
+
+    def gm_at_widths(widths: np.ndarray) -> np.ndarray:
+        bank = MosfetArray.nmos(widths, lengths, technologies)
+        vgs = bank.vgs_for_current(bias, vds)
+        return bank.operating_point(vgs, vds).gm
+
+    lo = np.full(len(records), 2e-6)
+    hi = np.full(len(records), 2000e-6)
+    unreachable = gm_at_widths(hi) < targets
+    if np.any(unreachable):
+        def name(index: int) -> str:
+            if labels is not None:
+                return str(labels[index])
+            return (f"design[{index}] "
+                    f"(fingerprint {records[index].fingerprint()[:12]})")
+        offenders = ", ".join(name(int(i))
+                              for i in np.flatnonzero(unreachable))
+        raise ValueError(
+            "target gm unreachable within the width search range for: "
+            + offenders)
+    for _ in range(80):
+        mid = np.sqrt(lo * hi)
+        below = gm_at_widths(mid) < targets
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+    _SIZING_SOLVES += len(records)
+    _BATCHED_SIZING_SOLVES += 1
+    return np.sqrt(lo * hi)
 
 
 @dataclass(frozen=True)
@@ -95,6 +175,27 @@ class TransconductanceAmplifier:
     def device(self) -> Mosfet:
         """The Gm MOSFET, sized so the target gm is met at the bias current."""
         return self._size_device()
+
+    @property
+    def device_sized(self) -> bool:
+        """Whether the Gm device is already solved (or seeded) — no solve."""
+        return "device" in self.__dict__
+
+    def seed_device(self, device: Mosfet) -> None:
+        """Install an externally solved Gm device (the batched sizing path).
+
+        The width solve depends only on the design record — length, target
+        gm, bias current, technology — never on the degeneration, so one
+        :func:`solve_widths` result seeds every TCA configuration of the
+        same design.  The caller is responsible for the device matching what
+        :meth:`_size_device` would return; :func:`solve_widths` guarantees
+        that bit-for-bit.
+        """
+        if not isinstance(device, Mosfet):
+            raise TypeError("seed_device() needs a Mosfet")
+        # cached_property stores through the instance __dict__, so seeding
+        # is exactly the state a lazy solve would have left behind.
+        self.__dict__["device"] = device
 
     def _size_device(self) -> Mosfet:
         """Solve the width that delivers ``tca_gm`` at the per-side bias current."""
@@ -180,15 +281,20 @@ class TransconductanceAmplifier:
             """Drain current for an input excursion v_in with degeneration."""
             if r_s == 0.0:
                 return self.device.drain_current(vgs0 + v_in, vds)
-            # Solve i = f(vgs0 + v_in - i * r_s) by fixed-point iteration.
+            # Solve i = f(vgs0 + v_in - i * r_s) by damped fixed-point
+            # iteration; the damping converges the loop for gm * r_s < ~3,
+            # which covers every realistic degeneration value.
             i = self.device.drain_current(vgs0 + v_in, vds)
             for _ in range(60):
                 i_new = self.device.drain_current(vgs0 + v_in - i * r_s, vds)
                 if abs(i_new - i) < 1e-15:
-                    i = i_new
-                    break
+                    return i_new
                 i = 0.5 * (i + i_new)
-            return i
+            raise RuntimeError(
+                "degenerated bias point failed to converge within 60 "
+                f"fixed-point iterations (residual {abs(i_new - i):.3g} A "
+                f"at v_in={v_in:.3g} V, r_s={r_s:.3g} ohm); the damped "
+                "iteration diverges once gm * r_s exceeds ~3")
 
         i0 = current(0.0)
         ip1, im1 = current(delta), current(-delta)

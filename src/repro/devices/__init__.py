@@ -20,6 +20,8 @@ from repro.devices.technology import Technology, UMC65_LIKE, nominal_technology
 from repro.devices.mosfet import (
     MosfetParameters,
     Mosfet,
+    MosfetArray,
+    MosfetArrayOperatingPoint,
     MosfetOperatingPoint,
     MosfetRegion,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "nominal_technology",
     "MosfetParameters",
     "Mosfet",
+    "MosfetArray",
+    "MosfetArrayOperatingPoint",
     "MosfetOperatingPoint",
     "MosfetRegion",
     "Resistor",

@@ -22,6 +22,9 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.units import BOLTZMANN
 from repro.devices.technology import Technology, UMC65_LIKE
@@ -354,3 +357,244 @@ class Mosfet:
             f"Mosfet({p.polarity.value}, W={p.width * 1e6:.2f}um, "
             f"L={p.length * 1e9:.0f}nm)"
         )
+
+
+@dataclass(frozen=True)
+class MosfetArrayOperatingPoint:
+    """Elementwise small-signal operating points of a :class:`MosfetArray`.
+
+    The array twin of :class:`MosfetOperatingPoint`: every field holds one
+    value per bank element, computed by the same operation sequence as the
+    scalar model, so ``bank.operating_point(vgs, vds).gm[i]`` is bit-equal
+    to the corresponding scalar ``Mosfet.operating_point(...).gm``.
+    """
+
+    id: np.ndarray
+    gm: np.ndarray
+    gds: np.ndarray
+    vgs: np.ndarray
+    vds: np.ndarray
+    vov: np.ndarray
+
+    @property
+    def regions(self) -> list[MosfetRegion]:
+        """Operating region per element (derived from ``vov``/``vds``)."""
+        cutoff = (self.vov <= 0.0) | (self.vds < 0.0)
+        saturated = ~cutoff & (self.vds >= self.vov)
+        out = []
+        for index in range(self.id.size):
+            if cutoff.flat[index]:
+                out.append(MosfetRegion.CUTOFF)
+            elif saturated.flat[index]:
+                out.append(MosfetRegion.SATURATION)
+            else:
+                out.append(MosfetRegion.TRIODE)
+        return out
+
+
+class MosfetArray:
+    """A bank of behavioural MOSFETs evaluated elementwise with NumPy.
+
+    Geometry and technology constants may vary per element (one device per
+    Monte-Carlo corner), the polarity is shared.  This is the device layer of
+    the batched sizing solver: :func:`repro.core.transconductance.\
+solve_widths` steps one width bisection for the whole design axis through
+    this bank instead of N scalar bisections.
+
+    **Bit-identity contract**: every derived quantity is computed with the
+    same IEEE-754 operation sequence (same association order, same literal
+    constants) as the scalar :class:`Mosfet`, so masked array solves return
+    exactly the scalar solver's doubles — the property the golden spec pins
+    rest on, gated elementwise in ``tests/test_sizing_batch.py``.
+    """
+
+    def __init__(self, widths, lengths,
+                 polarity: MosfetPolarity = MosfetPolarity.NMOS,
+                 technologies: Sequence[Technology] | Technology = UMC65_LIKE
+                 ) -> None:
+        width = np.atleast_1d(np.asarray(widths, dtype=float))
+        length = np.broadcast_to(
+            np.asarray(lengths, dtype=float), width.shape).astype(float)
+        if width.ndim != 1:
+            raise ValueError("MosfetArray widths must be one-dimensional")
+        if np.any(width <= 0) or np.any(length <= 0):
+            raise ValueError("MOSFET width and length must be positive")
+        if isinstance(technologies, Technology):
+            technologies = [technologies] * width.size
+        technologies = list(technologies)
+        if len(technologies) != width.size:
+            raise ValueError(
+                f"got {len(technologies)} technologies for {width.size} "
+                "devices; they must match one-to-one (or pass a single "
+                "Technology shared by the whole bank)")
+        l_min = np.array([t.l_min for t in technologies], dtype=float)
+        if np.any(length < l_min * 0.999):
+            raise ValueError(
+                "channel length below the technology minimum for at least "
+                "one bank element")
+        self.width = width
+        self.length = length
+        self.polarity = polarity
+        self.technologies = technologies
+        nmos = polarity is MosfetPolarity.NMOS
+        self._vth = np.array(
+            [t.vth_n if nmos else t.vth_p for t in technologies], dtype=float)
+        self._u_cox = np.array(
+            [t.u_cox_n if nmos else t.u_cox_p for t in technologies],
+            dtype=float)
+        self._lambda = np.array(
+            [t.lambda_n if nmos else t.lambda_p for t in technologies],
+            dtype=float)
+        self._theta = np.array([t.theta for t in technologies], dtype=float)
+        self._sign = 1.0 if nmos else -1.0
+
+    # -- static helpers -----------------------------------------------------
+
+    @classmethod
+    def nmos(cls, widths, lengths,
+             technologies: Sequence[Technology] | Technology = UMC65_LIKE
+             ) -> "MosfetArray":
+        """Construct an NMOS bank."""
+        return cls(widths, lengths, MosfetPolarity.NMOS, technologies)
+
+    @classmethod
+    def pmos(cls, widths, lengths,
+             technologies: Sequence[Technology] | Technology = UMC65_LIKE
+             ) -> "MosfetArray":
+        """Construct a PMOS bank."""
+        return cls(widths, lengths, MosfetPolarity.PMOS, technologies)
+
+    def __len__(self) -> int:
+        return int(self.width.size)
+
+    def with_widths(self, widths) -> "MosfetArray":
+        """The same bank re-drawn at new widths (the bisection step)."""
+        return MosfetArray(widths, self.length, self.polarity,
+                           self.technologies)
+
+    def element(self, index: int) -> Mosfet:
+        """The scalar :class:`Mosfet` equivalent of one bank element."""
+        return Mosfet(MosfetParameters(
+            float(self.width[index]), float(self.length[index]),
+            self.polarity, self.technologies[index]))
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Per-element transconductance factor ``u_cox * W / L`` (A/V^2)."""
+        return self._u_cox * (self.width / self.length)
+
+    # -- DC model -----------------------------------------------------------
+
+    def _evaluate(self, nvgs: np.ndarray, nvds: np.ndarray,
+                  current_only: bool) -> tuple[np.ndarray, ...]:
+        """The square-law equations on polarity-normalised voltage arrays.
+
+        Every arithmetic expression below mirrors a line of the scalar
+        :meth:`Mosfet.operating_point` with identical association order;
+        region selection happens through masks instead of branches, which
+        cannot perturb the per-element doubles.
+        """
+        vov = nvgs - self._vth
+        beta = self.beta
+        theta = self._theta
+        lam = self._lambda
+        cutoff = (vov <= 0.0) | (nvds < 0.0)
+        saturated = ~cutoff & (nvds >= vov)
+        triode = ~cutoff & ~saturated
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            degradation = 1.0 + theta * vov
+            beta_eff = beta / degradation
+            clm = 1.0 + lam * nvds
+            id_sat = 0.5 * beta_eff * vov * vov * clm
+            id_tri = beta_eff * (vov * nvds - 0.5 * nvds * nvds) * clm
+            id_ = np.where(cutoff, 0.0, np.where(saturated, id_sat, id_tri))
+            if current_only:
+                return (id_,)
+            gm_sat = beta * vov * (1.0 + 0.5 * theta * vov) \
+                / (degradation * degradation)
+            gm_sat = gm_sat * clm
+            gds_sat = 0.5 * beta_eff * vov * vov * lam
+            gm_tri = beta_eff * nvds * clm
+            gds_tri = beta_eff * (vov - nvds) * clm \
+                + beta_eff * (vov * nvds - 0.5 * nvds * nvds) * lam
+            gm = np.where(cutoff, 0.0, np.where(saturated, gm_sat, gm_tri))
+            gds = np.where(cutoff, 0.0,
+                           np.where(saturated, gds_sat, gds_tri))
+        return id_, gm, gds, vov
+
+    def _normalise(self, vgs, vds) -> tuple[np.ndarray, np.ndarray]:
+        """Flip signs for PMOS, exactly like the scalar model."""
+        nvgs = np.broadcast_to(np.asarray(vgs, dtype=float),
+                               self.width.shape).astype(float)
+        nvds = np.broadcast_to(np.asarray(vds, dtype=float),
+                               self.width.shape).astype(float)
+        if self.polarity is MosfetPolarity.PMOS:
+            return -nvgs, -nvds
+        return nvgs, nvds
+
+    def drain_current(self, vgs, vds) -> np.ndarray:
+        """Per-element drain current magnitude (A); the bisection fast path."""
+        nvgs, nvds = self._normalise(vgs, vds)
+        (id_,) = self._evaluate(nvgs, nvds, current_only=True)
+        return id_
+
+    def operating_point(self, vgs, vds) -> MosfetArrayOperatingPoint:
+        """Per-element DC operating points at (broadcastable) bias arrays."""
+        nvgs, nvds = self._normalise(vgs, vds)
+        id_, gm, gds, vov = self._evaluate(nvgs, nvds, current_only=False)
+        return MosfetArrayOperatingPoint(id=id_, gm=gm, gds=gds,
+                                         vgs=nvgs, vds=nvds, vov=vov)
+
+    # -- bias solving -------------------------------------------------------
+
+    def vgs_for_current(self, target_id, vds, tolerance: float = 1e-12,
+                        max_iterations: int = 200) -> np.ndarray:
+        """Per-element gate voltages producing ``target_id`` at ``vds``.
+
+        The masked twin of :meth:`Mosfet.vgs_for_current`: one bisection
+        loop steps every element together, and a per-element convergence
+        mask freezes an element's bracket the moment it reaches the scalar
+        solver's stopping width — after which further iterations cannot
+        move it, so each element retraces the scalar iterate sequence
+        exactly.
+        """
+        target = np.broadcast_to(np.asarray(target_id, dtype=float),
+                                 self.width.shape).astype(float)
+        if np.any(target < 0):
+            raise ValueError("target drain current must be non-negative")
+        nvds = np.abs(np.broadcast_to(np.asarray(vds, dtype=float),
+                                      self.width.shape).astype(float))
+        sign = self._sign
+
+        lo = self._vth.copy()
+        hi = self._vth + 3.0  # generous upper bound on the overdrive
+        active = target > 0.0
+
+        # The scalar solver's reachability guard, evaluated per element.
+        (id_hi,) = self._evaluate(hi, nvds, current_only=True)
+        unreachable = active & (id_hi < target)
+        if np.any(unreachable):
+            indices = np.flatnonzero(unreachable)
+            shown = ", ".join(
+                f"[{i}] {target[i]:.3g} A" for i in indices[:5])
+            if indices.size > 5:
+                shown += f", ... ({indices.size} total)"
+            raise ValueError(
+                "target current is unreachable for this geometry at bank "
+                f"element(s): {shown}")
+
+        for _ in range(max_iterations):
+            if not np.any(active):
+                break
+            mid = 0.5 * (lo + hi)
+            (id_mid,) = self._evaluate(mid, nvds, current_only=True)
+            below = id_mid < target
+            lo = np.where(active & below, mid, lo)
+            hi = np.where(active & ~below, mid, hi)
+            active = active & ~((hi - lo) < tolerance)
+        return np.where(target == 0.0, 0.0, sign * 0.5 * (lo + hi))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MosfetArray({self.polarity.value}, n={len(self)}, "
+                f"W=[{self.width.min() * 1e6:.2f}.."
+                f"{self.width.max() * 1e6:.2f}]um)")

@@ -273,7 +273,8 @@ def run_yield_opt(design: MixerDesign | None = None,
                   num_samples: int = 16, seed: int = DEFAULT_SEED,
                   search_span: float = 0.12, shrink: float = 0.5,
                   workers: int | None = None,
-                  cache: SpecCache | str | bool | None = None
+                  cache: SpecCache | str | bool | None = None,
+                  shared_memory: bool = False
                   ) -> YieldOptResult:
     """Search the design knobs for maximum yield against spec targets.
 
@@ -307,9 +308,11 @@ def run_yield_opt(design: MixerDesign | None = None,
     shrink:
         Factor applied to the span after each iteration (0 < shrink <= 1);
         the search narrows around the incumbent as it converges.
-    workers / cache:
-        Sweep-engine options: process count for the sharded runner and the
-        on-disk :class:`~repro.sweep.cache.SpecCache` of solved cells.
+    workers / cache / shared_memory:
+        Sweep-engine options: process count for the sharded runner, the
+        on-disk :class:`~repro.sweep.cache.SpecCache` of solved cells, and
+        the opt-in shared-memory result hand-off of
+        :class:`~repro.sweep.parallel.ParallelSweepRunner`.
     """
     target_list = list(parse_targets(targets))
     knob_list = _validate_knobs(knobs)
@@ -342,7 +345,8 @@ def run_yield_opt(design: MixerDesign | None = None,
     from repro.experiments.common import design_and_runner, resolve_design
     if analytic_targets:
         base, runner = design_and_runner(design, specs=specs, workers=workers,
-                                         cache=cache)
+                                         cache=cache,
+                                         shared_memory=shared_memory)
     else:
         base, runner = resolve_design(design), None
     wave_runner = make_waveform_runner(base, workers=workers, cache=cache) \

@@ -159,7 +159,8 @@ def run_monte_carlo(design: MixerDesign | None = None,
                     modes: Sequence[MixerMode] | None = None,
                     specs: Sequence[str] = DEFAULT_SPECS,
                     workers: int | None = None,
-                    cache: SpecCache | str | bool | None = None
+                    cache: SpecCache | str | bool | None = None,
+                    shared_memory: bool = False
                     ) -> MonteCarloResult:
     """Sample ``num_samples`` perturbed designs and sweep their specs.
 
@@ -173,6 +174,8 @@ def run_monte_carlo(design: MixerDesign | None = None,
     ``cache`` persists each sample's sizing/bias solution on disk
     (:mod:`repro.sweep.cache`), so re-running the same seed — or any grid
     containing previously solved samples — skips the bisections entirely.
+    ``shared_memory`` opts a sharded run into the shared-memory hand-off
+    (see :class:`~repro.sweep.parallel.ParallelSweepRunner`).
     """
     if num_samples < 2:
         raise ValueError("a Monte-Carlo run needs at least 2 samples")
@@ -183,7 +186,8 @@ def run_monte_carlo(design: MixerDesign | None = None,
     for index in range(num_samples):
         label = _SAMPLE_LABEL.format(index=index)
         designs[label] = sample_design(design, rng, spread, label)
-    runner = make_runner(design, specs=specs, workers=workers, cache=cache)
+    runner = make_runner(design, specs=specs, workers=workers, cache=cache,
+                         shared_memory=shared_memory)
     sweep = runner.run(modes=modes, designs=designs)
     return MonteCarloResult(sweep=sweep, num_samples=num_samples, seed=seed,
                             spread=spread)

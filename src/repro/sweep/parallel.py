@@ -27,13 +27,20 @@ skips every bisection that any previous run or shard already paid for.
 from __future__ import annotations
 
 import os
+import pickle
 import threading
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stripped-down builds only
+    _shared_memory = None
 
 from repro.api.progress import report_progress
 from repro.core.config import MixerDesign, MixerMode
@@ -143,6 +150,98 @@ def _run_shard(task: _ShardTask) -> SweepResult:
     )
 
 
+# -- shared-memory shard hand-off ----------------------------------------------
+#
+# The pickle hand-off above ships every shard its slice of design records
+# through the executor's call queue and ships every shard result back the
+# same way — 2x the whole grid through pickle for one run.  The opt-in
+# shared-memory path (``ParallelSweepRunner(shared_memory=True)``) replaces
+# both copies: the parent writes one pickled (labels, records) block into a
+# ``multiprocessing.shared_memory`` segment every worker attaches to, and
+# workers write their result blocks straight into a second, preallocated
+# float64 segment the parent reads the stitched arrays from.  Workers then
+# return only a row count.  Bit-identity is untouched — the cell maths runs
+# through the very same SweepRunner; only the transport changes.
+#
+# The path degrades gracefully: when the platform has no usable shared
+# memory (import failure, segment creation refused), the runner silently
+# falls back to the pickle hand-off.  Segments are always closed and
+# unlinked by the parent — including when a worker raises mid-sweep — so a
+# failed run leaks nothing into /dev/shm.
+
+#: Name prefix of every segment this module creates; the leak tests sweep
+#: /dev/shm for leftovers carrying it.
+SEGMENT_PREFIX = "repro-sweep-"
+
+
+@dataclass(frozen=True)
+class _ShmShardTask:
+    """One worker's slice plus the segment names replacing the pickles."""
+
+    specs: tuple[str, ...]
+    rf_frequencies: tuple[float, ...]
+    if_frequencies: tuple[float, ...]
+    modes: tuple[MixerMode, ...]
+    cache_dir: str | None
+    designs_segment: str
+    designs_size: int
+    results_segment: str
+    results_shape: tuple[int, ...]
+    start: int
+    stop: int
+
+
+def _run_shard_shm(task: _ShmShardTask) -> int:
+    """Worker entry point for the shared-memory hand-off.
+
+    Reads the design block from the input segment, runs the ordinary
+    :class:`SweepRunner` over its ``[start, stop)`` slice, and writes each
+    spec's block into the preallocated result segment.  Returns the number
+    of designs evaluated (the progress payload — the arrays never cross the
+    pickle boundary).
+    """
+    segment = _shared_memory.SharedMemory(name=task.designs_segment)
+    try:
+        labels, records = pickle.loads(
+            bytes(segment.buf[:task.designs_size]))
+    finally:
+        segment.close()
+    labels = labels[task.start:task.stop]
+    records = records[task.start:task.stop]
+    cache = SpecCache(task.cache_dir) if task.cache_dir is not None else None
+    runner = SweepRunner(records[0], specs=task.specs, cache=cache)
+    result = runner.run(
+        rf_frequencies=task.rf_frequencies,
+        if_frequencies=task.if_frequencies,
+        modes=task.modes,
+        designs=dict(zip(labels, records)),
+    )
+    segment = _shared_memory.SharedMemory(name=task.results_segment)
+    try:
+        block = np.ndarray(task.results_shape, dtype=np.float64,
+                           buffer=segment.buf)
+        for spec_index, spec in enumerate(task.specs):
+            block[spec_index, task.start:task.stop] = result.data[spec]
+        # Views into the segment must be dropped before close() — an
+        # exported buffer keeps the mapping alive and close() would raise.
+        del block
+    finally:
+        segment.close()
+    return task.stop - task.start
+
+
+def _create_segment(size: int):
+    """A fresh named segment, or ``None`` when shared memory is unusable."""
+    if _shared_memory is None:
+        return None
+    name = f"{SEGMENT_PREFIX}{uuid.uuid4().hex}"
+    try:
+        return _shared_memory.SharedMemory(name=name, create=True,
+                                           size=max(1, int(size)))
+    except (OSError, ValueError):  # refused by the platform: fall back
+        return None
+
+
 class ParallelSweepRunner:
     """Drop-in :class:`SweepRunner` that shards the design axis over processes.
 
@@ -161,17 +260,26 @@ class ParallelSweepRunner:
         On-disk spec cache shared by all shards; same accepted values as
         :class:`SweepRunner`.  The cache is what makes repeated parallel
         runs cheap: each worker both reads and extends the shared directory.
+    shared_memory:
+        Opt into the ``multiprocessing.shared_memory`` hand-off: design
+        records cross into workers through one shared segment instead of
+        per-shard pickles, and result blocks come back through a second
+        preallocated segment instead of pickled :class:`SweepResult`
+        objects.  Bit-identical to the default hand-off; silently falls
+        back to pickling when the platform offers no shared memory.
     """
 
     def __init__(self, design: MixerDesign | None = None,
                  specs: Sequence[str] = DEFAULT_SPECS,
                  workers: int | None = None,
-                 cache: SpecCache | str | bool | None = None) -> None:
+                 cache: SpecCache | str | bool | None = None,
+                 shared_memory: bool = False) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = int(workers) if workers is not None \
             else (os.cpu_count() or 1)
         self.cache = resolve_cache(cache)
+        self.shared_memory = bool(shared_memory)
         # The inline runner owns spec validation, the design-axis labelling
         # rules and the single-process fallback, so both paths stay identical.
         self._inline = SweepRunner(design, specs=specs, cache=self.cache)
@@ -218,9 +326,17 @@ class ParallelSweepRunner:
 
         labels = design_axis.values
         cache_dir = str(self.cache.directory) if self.cache is not None else None
+        bounds_list = [(int(bounds[0]), int(bounds[-1]) + 1) for bounds in
+                       np.array_split(np.arange(len(records)), shard_count)]
+        if self.shared_memory:
+            result = self._run_shared_memory(
+                design_axis, records, rf, if_, mode_members, bounds_list,
+                cache_dir)
+            if result is not None:
+                return result
+            # Shared memory unavailable on this platform: pickle hand-off.
         tasks = []
-        for bounds in np.array_split(np.arange(len(records)), shard_count):
-            start, stop = int(bounds[0]), int(bounds[-1]) + 1
+        for start, stop in bounds_list:
             tasks.append(_ShardTask(
                 specs=self.specs,
                 labels=tuple(labels[start:stop]),
@@ -244,20 +360,90 @@ class ParallelSweepRunner:
                                 designs_total=len(records))
         return SweepResult.concat(shards, axis=DESIGN_AXIS)
 
+    def _run_shared_memory(self, design_axis: SweepAxis,
+                           records: Sequence[MixerDesign],
+                           rf: tuple[float, ...], if_: tuple[float, ...],
+                           mode_members: Sequence[MixerMode],
+                           bounds_list: Sequence[tuple[int, int]],
+                           cache_dir: str | None) -> SweepResult | None:
+        """The shared-memory hand-off, or ``None`` to fall back to pickling.
+
+        Two segments live for the duration of the run: the pickled
+        ``(labels, records)`` block every worker reads its slice from, and
+        the stitched ``(spec, design, mode, rf, if)`` float64 block workers
+        write into.  Both are closed and unlinked in a ``finally`` — a
+        worker exception propagates *after* the segments are gone, so a
+        failed sweep leaks nothing.
+        """
+        labels = design_axis.values
+        payload = pickle.dumps((tuple(labels), tuple(records)),
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        shape = (len(self.specs), len(records), len(mode_members),
+                 len(rf), len(if_))
+        designs_segment = _create_segment(len(payload))
+        if designs_segment is None:
+            return None
+        results_segment = _create_segment(8 * int(np.prod(shape)))
+        if results_segment is None:
+            designs_segment.close()
+            designs_segment.unlink()
+            return None
+        try:
+            designs_segment.buf[:len(payload)] = payload
+            tasks = [_ShmShardTask(
+                specs=self.specs,
+                rf_frequencies=rf,
+                if_frequencies=if_,
+                modes=tuple(mode_members),
+                cache_dir=cache_dir,
+                designs_segment=designs_segment.name,
+                designs_size=len(payload),
+                results_segment=results_segment.name,
+                results_shape=shape,
+                start=start,
+                stop=stop,
+            ) for start, stop in bounds_list]
+            designs_done = 0
+            with executor_for(len(tasks)) as pool:
+                for shards_done, count in enumerate(
+                        pool.map(_run_shard_shm, tasks), start=1):
+                    designs_done += count
+                    report_progress(stage="sweep", shards_done=shards_done,
+                                    shards_total=len(tasks),
+                                    designs_done=designs_done,
+                                    designs_total=len(records))
+            block = np.ndarray(shape, dtype=np.float64,
+                               buffer=results_segment.buf)
+            data = {spec: np.array(block[spec_index], dtype=float, copy=True)
+                    for spec_index, spec in enumerate(self.specs)}
+            # Drop the view before close() — see _run_shard_shm.
+            del block
+        finally:
+            designs_segment.close()
+            designs_segment.unlink()
+            results_segment.close()
+            results_segment.unlink()
+        axes = (design_axis, SweepAxis.mode_axis(list(mode_members))[0],
+                SweepAxis.numeric(RF_AXIS, rf), SweepAxis.numeric(IF_AXIS, if_))
+        return SweepResult(axes, data)
+
 
 def make_runner(design: MixerDesign | None = None,
                 specs: Sequence[str] = DEFAULT_SPECS,
                 workers: int | None = None,
-                cache: SpecCache | str | bool | None = None
+                cache: SpecCache | str | bool | None = None,
+                shared_memory: bool = False
                 ) -> SweepRunner | ParallelSweepRunner:
     """The runner an experiment entry point should use for its options.
 
     ``workers=None`` or ``1`` keeps the plain single-process
     :class:`SweepRunner` (the default everywhere — experiments pay nothing
     for the parallel machinery unless asked); anything higher returns a
-    :class:`ParallelSweepRunner`.  ``cache`` is honoured by both.
+    :class:`ParallelSweepRunner`.  ``cache`` is honoured by both;
+    ``shared_memory`` opts the parallel runner into the shared-memory shard
+    hand-off (ignored inline, where nothing crosses a process boundary).
     """
     if workers is None or workers == 1:
         return SweepRunner(design, specs=specs, cache=cache)
     return ParallelSweepRunner(design, specs=specs, workers=workers,
-                               cache=cache)
+                               cache=cache, shared_memory=shared_memory)

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.core.config import MixerDesign
 from repro.core.reconfigurable_mixer import ReconfigurableMixer
+from repro.core.transconductance import solve_widths
 from repro.rf.signal import WaveformTransfer
 from repro.sweep.grid import POWER_AXIS, SweepAxis
 from repro.units import dbm_from_vpeak, vpeak_from_dbm
@@ -234,11 +235,14 @@ class WaveformRunner:
         shape = (len(design_axis), len(mode_axis), len(power_axis))
         data = {measure: np.empty(shape, dtype=float)
                 for measure in plan.measures}
-        block: np.ndarray | None = None  # one stimulus, shared by all cells
+        # Pass 1 — settle the cache: every hit fills its cell directly, and
+        # each miss is queued so the unsolved designs can be batch-sized
+        # before any device evaluation runs.  Each cell still costs at most
+        # one cache read, exactly as the single-pass loop did.
+        pending: list[tuple[int, int, MixerDesign]] = []
         for design_index, record in enumerate(records):
             mixer = self.mixer_for(record)
             for mode_index, mode in enumerate(members):
-                mixer.set_mode(mode)
                 if self.cache is not None:
                     cached = self.cache.load(record, mode, plan)
                     if cached is not None:
@@ -246,15 +250,58 @@ class WaveformRunner:
                             data[measure][design_index, mode_index] = \
                                 cached[measure]
                         continue
+                pending.append((design_index, mode_index, record))
+        self._presize([record for _, _, record in pending],
+                      [design_axis.values[i] for i, _, _ in pending])
+        # Pass 2 — evaluate the cells the cache could not cover, all devices
+        # already sized when the batch threshold was met.
+        block: np.ndarray | None = None  # one stimulus, shared by all cells
+        for design_index, mode_index, record in pending:
+            mixer = self.mixer_for(record)
+            mixer.set_mode(members[mode_index])
+            if block is None:
+                block = self._stimuli.get(plan)
                 if block is None:
-                    block = self._stimuli.get(plan)
-                    if block is None:
-                        block = stimulus_block(plan)
-                        self._stimuli[plan] = block
-                measures = self._evaluate_cell(mixer, record, plan, block)
-                for measure in plan.measures:
-                    data[measure][design_index, mode_index] = measures[measure]
+                    block = stimulus_block(plan)
+                    self._stimuli[plan] = block
+            measures = self._evaluate_cell(mixer, record, plan, block)
+            for measure in plan.measures:
+                data[measure][design_index, mode_index] = measures[measure]
         return WaveformResult((design_axis, mode_axis, power_axis), data)
+
+    #: Minimum number of unsolved designs before the batched width solver
+    #: takes over (mirrors :attr:`SweepRunner._BATCH_THRESHOLD`).
+    _BATCH_THRESHOLD = 2
+
+    def _presize(self, records, labels) -> int:
+        """Batch-solve Gm widths for the distinct unsized pending designs.
+
+        The waveform twin of :meth:`SweepRunner._presize`: one
+        :func:`~repro.core.transconductance.solve_widths` call replaces the
+        N x 80 scalar bisections the lazy per-cell path would have run, and
+        the solved widths are bit-identical, so measures are unchanged.
+        Returns the number of designs batch-sized.
+        """
+        pending_records: list[MixerDesign] = []
+        pending_labels: list[str] = []
+        pending_mixers: list[ReconfigurableMixer] = []
+        seen: set[MixerDesign] = set()
+        for label, record in zip(labels, records):
+            if record in seen:
+                continue
+            seen.add(record)
+            mixer = self.mixer_for(record)
+            if mixer.gm_device_sized():
+                continue
+            pending_records.append(record)
+            pending_labels.append(label)
+            pending_mixers.append(mixer)
+        if len(pending_records) < self._BATCH_THRESHOLD:
+            return 0
+        widths = solve_widths(pending_records, labels=pending_labels)
+        for mixer, width in zip(pending_mixers, widths):
+            mixer.seed_gm_width(float(width))
+        return len(pending_records)
 
     def _evaluate_cell(self, mixer: ReconfigurableMixer, record: MixerDesign,
                        plan: StimulusPlan,

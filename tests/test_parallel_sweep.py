@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import glob
+import os
 from dataclasses import replace
 
 import numpy as np
 import pytest
 
+import repro.sweep.parallel as parallel_module
 from repro.core.config import MixerDesign, MixerMode
 from repro.sweep import (
     DESIGN_AXIS,
@@ -19,6 +22,7 @@ from repro.sweep import (
     run_monte_carlo,
     sample_design,
 )
+from repro.sweep.parallel import SEGMENT_PREFIX
 
 
 def _sampled_designs(design: MixerDesign, count: int,
@@ -153,6 +157,59 @@ class TestParallelSweepRunner:
                                           single.data[spec])
 
 
+def _leaked_segments() -> list[str]:
+    """Segments this module created and failed to unlink (Linux view)."""
+    if not os.path.isdir("/dev/shm"):
+        return []
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+class TestSharedMemoryHandOff:
+    def test_bitwise_identity_across_worker_counts(self, design):
+        """The acceptance gate: the shm transport must change no bits."""
+        designs = _sampled_designs(design, 6, seed=3)
+        rf = [1.0e9, 2.405e9]
+        single = SweepRunner(design).run(rf_frequencies=rf, designs=designs)
+        for workers in (2, 4):
+            shm = ParallelSweepRunner(design, workers=workers,
+                                      shared_memory=True).run(
+                rf_frequencies=rf, designs=designs)
+            assert shm.axis(DESIGN_AXIS).values == \
+                single.axis(DESIGN_AXIS).values
+            for spec in single.spec_names:
+                np.testing.assert_array_equal(shm.data[spec],
+                                              single.data[spec])
+        assert _leaked_segments() == []
+
+    def test_falls_back_to_pickle_when_unavailable(self, design, monkeypatch):
+        """No shared memory on the platform: same results, no error."""
+        monkeypatch.setattr(parallel_module, "_shared_memory", None)
+        designs = _sampled_designs(design, 4, seed=7)
+        single = SweepRunner(design).run(designs=designs)
+        fallback = ParallelSweepRunner(design, workers=2,
+                                       shared_memory=True).run(designs=designs)
+        for spec in single.spec_names:
+            np.testing.assert_array_equal(fallback.data[spec],
+                                          single.data[spec])
+
+    def test_worker_exception_leaks_no_segments(self, design):
+        """A shard failure must unlink both segments before propagating."""
+        designs = _sampled_designs(design, 4, seed=9)
+        designs["greedy"] = replace(design, tca_gm=1.0)
+        runner = ParallelSweepRunner(design, workers=2, shared_memory=True)
+        with pytest.raises(ValueError, match="target gm unreachable"):
+            runner.run(designs=designs)
+        assert _leaked_segments() == []
+
+    def test_monte_carlo_accepts_shared_memory(self, design):
+        baseline = run_monte_carlo(design, num_samples=4, seed=33)
+        shm = run_monte_carlo(design, num_samples=4, seed=33, workers=2,
+                              shared_memory=True)
+        for spec in baseline.sweep.spec_names:
+            np.testing.assert_array_equal(shm.sweep.data[spec],
+                                          baseline.sweep.data[spec])
+
+
 class TestMakeRunner:
     def test_workers_choose_the_runner_type(self, design):
         assert isinstance(make_runner(design), SweepRunner)
@@ -160,6 +217,11 @@ class TestMakeRunner:
         parallel = make_runner(design, workers=2)
         assert isinstance(parallel, ParallelSweepRunner)
         assert parallel.workers == 2
+
+    def test_shared_memory_flag_reaches_the_runner(self, design):
+        assert make_runner(design, workers=2).shared_memory is False
+        assert make_runner(design, workers=2,
+                           shared_memory=True).shared_memory is True
 
 
 class TestMonteCarloParallel:
