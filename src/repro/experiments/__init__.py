@@ -16,6 +16,8 @@ function call both here and there.
 | :mod:`repro.experiments.p1db_compression`  | Table I — input 1 dB compression point |
 | :mod:`repro.experiments.power_budget`      | section III/IV text — power per mode |
 | :mod:`repro.experiments.tia_response`      | equation (4) — TIA input impedance |
+| :mod:`repro.experiments.digital_if`        | sampled-receiver context — SNR vs ADC resolution through the fixed-point IF chain |
+| :mod:`repro.experiments.bits_floor`        | sampled-receiver context — minimum digital widths under the NF-derived noise floor |
 | :mod:`repro.optimize.search`               | Table I targets under process spread — yield optimisation |
 
 Sweep-engine architecture
@@ -32,7 +34,13 @@ compression sweep) are genuine sampled-signal benches — and they batch the
 same way on :mod:`repro.waveform`: a
 :class:`~repro.waveform.engine.WaveformRunner` evaluates a whole
 design x mode x input-power grid as one stacked time-domain block plus one
-batched FFT per cell, with its own content-addressed measure cache.
+batched FFT per cell, with its own content-addressed measure cache.  The
+fixed-point digital back end (``digital_if`` / ``bits_floor``) extends the
+ladder one rung further on :mod:`repro.digital`: a
+:class:`~repro.digital.engine.DigitalIfRunner` taps the waveform engine's
+time-domain output per (design, mode) cell and quantizes **every ADC bit
+width in one vectorized pass** over a design x mode x bits grid, again
+with its own content-addressed cache and design-axis sharding.
 
 Every engine-backed entry point (``run_fig8`` / ``run_fig9`` /
 ``run_fig10`` / ``run_table1`` / ``run_iip2`` / ``run_p1db`` /
@@ -66,8 +74,9 @@ entry points and the service's responses are bit-identical to them.  The
 shared ``design``/``workers``/``cache`` handling lives in
 :mod:`repro.experiments.common`; the engine-backed drivers additionally
 expose a ``sweep_*`` batch variant evaluating many designs as one design
-axis (``sweep_fig8`` / ``sweep_fig9`` / ``sweep_table1`` and the waveform
-benches ``sweep_fig10`` / ``sweep_iip2`` / ``sweep_p1db``).
+axis (``sweep_fig8`` / ``sweep_fig9`` / ``sweep_table1``, the waveform
+benches ``sweep_fig10`` / ``sweep_iip2`` / ``sweep_p1db`` and the digital
+benches ``sweep_digital_if`` / ``sweep_bits_floor``).
 
 The corner-aware yield optimiser (:mod:`repro.optimize`) registers here as
 the ``yield_opt`` experiment: a seeded search over the design knobs for
@@ -91,6 +100,16 @@ from repro.experiments.p1db_compression import (
     P1dbResult,
 )
 from repro.experiments.power_budget import run_power_budget, PowerBudgetResult
+from repro.experiments.digital_if import (
+    run_digital_if,
+    sweep_digital_if,
+    DigitalIfResult,
+)
+from repro.experiments.bits_floor import (
+    run_bits_floor,
+    sweep_bits_floor,
+    BitsFloorResult,
+)
 from repro.experiments.tia_response import run_tia_response, TiaResponseResult
 from repro.experiments.ablation import run_ablation, AblationResult
 from repro.experiments.common import resolve_design
@@ -106,6 +125,8 @@ __all__ = [
     "run_table1", "sweep_table1", "Table1Result",
     "run_iip2", "sweep_iip2", "Iip2Result",
     "run_p1db", "sweep_p1db", "P1dbResult",
+    "run_digital_if", "sweep_digital_if", "DigitalIfResult",
+    "run_bits_floor", "sweep_bits_floor", "BitsFloorResult",
     "run_power_budget", "PowerBudgetResult",
     "run_tia_response", "TiaResponseResult",
     "run_yield_opt", "YieldOptResult",

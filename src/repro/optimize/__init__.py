@@ -6,7 +6,9 @@ The subsystem that turns the reproduction from "regenerate Table I" into
 * :mod:`repro.optimize.targets` — :class:`SpecTarget` acceptance bounds and
   the Table I default set; besides the analytic sweep specs a target may
   bound the waveform-measured IIP3 / P1dB (:data:`WAVEFORM_SPECS`), scored
-  through the batched waveform engine;
+  through the batched waveform engine, or the fixed-point digital-IF SNR
+  (:data:`DIGITAL_SPECS`), scored through the quantized back end of
+  :mod:`repro.digital`;
 * :mod:`repro.optimize.search` — :func:`run_yield_opt`, the seeded
   shrinking-span search scoring candidate populations through the sweep
   engine's Monte-Carlo device-spread model;
@@ -30,6 +32,7 @@ from repro.optimize.search import (
     run_yield_opt,
 )
 from repro.optimize.targets import (
+    DIGITAL_SPECS,
     TARGETABLE_SPECS,
     WAVEFORM_SPECS,
     SpecTarget,
@@ -41,6 +44,7 @@ from repro.optimize.targets import (
 __all__ = [
     "CandidateOutcome",
     "DEFAULT_KNOBS",
+    "DIGITAL_SPECS",
     "EXPERIMENT_NAME",
     "SEARCHABLE_KNOBS",
     "SpecTarget",

@@ -49,6 +49,7 @@ from repro.api.progress import report_progress
 from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
 from repro.devices.technology import Technology
+from repro.digital import digital_if_plan, make_digital_runner
 from repro.optimize.targets import (
     SpecTarget,
     default_targets_wire,
@@ -112,6 +113,13 @@ WAVEFORM_TONE_SPACING_HZ = 2.0e6
 WAVEFORM_IIP3_POWERS_DBM = (-45.0, -42.0, -39.0, -36.0, -33.0, -30.0)
 WAVEFORM_P1DB_POWERS_DBM = (-40.0, -36.0, -32.0, -28.0, -24.0, -20.0,
                             -16.0, -12.0, -8.0)
+
+#: ADC resolution the digital-SNR targets score at.  One mid-ladder width
+#: keeps the corner grid a single bits point (the score needs a number per
+#: corner, not a resolution curve) while staying inside the region where
+#: the converter — not the 16-bit NCO — sets the floor, so the yield mask
+#: actually moves when a corner's conversion gain or noise moves.
+DIGITAL_SCORE_ADC_BITS = 10
 
 
 @dataclass
@@ -251,6 +259,44 @@ def _waveform_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
     return values
 
 
+def _digital_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
+                           targets: Sequence[SpecTarget],
+                           base: MixerDesign) -> dict[str, np.ndarray]:
+    """Score the digital-SNR targets over one corner design axis.
+
+    Returns ``target.key -> per-design value array`` aligned with
+    ``corner_designs`` order.  One fixed-point digital-IF bench — the
+    canonical NCO/CIC plan at :data:`DIGITAL_SCORE_ADC_BITS` — evaluates
+    the whole axis in a single
+    :class:`~repro.digital.engine.DigitalIfRunner` call: every corner's
+    tapped IF waveform quantized, mixed and decimated in one batched pass
+    per cell, sharded by ``workers=`` and served from the digital measure
+    cache on warm re-runs.
+    """
+    modes = tuple(dict.fromkeys(t.mode for t in targets))
+    try:
+        plan = digital_if_plan(
+            rf_frequency=base.lo_frequency + base.if_frequency,
+            lo_frequency=base.lo_frequency,
+            adc_bits=(DIGITAL_SCORE_ADC_BITS,))
+    except ValueError as error:
+        # Mirror the waveform _checked refusal: a retuned operating point
+        # that breaks coherent sampling or the NCO's exact-bin arithmetic
+        # would corrupt the yield mask silently — refuse it loudly.
+        raise ValueError(
+            "digital-measured targets need the design's LO/IF operating "
+            "point to fit the canonical digital-IF plan (coherent analog "
+            "record, exact NCO increment, bin-centred baseband); retune "
+            "lo_frequency/if_frequency or score analytic specs instead "
+            f"[{error}]") from error
+    result = runner.run(plan, modes=modes, designs=dict(corner_designs))
+    return {
+        target.key: result.values("snr_db", mode=target.mode,
+                                  adc_bits=DIGITAL_SCORE_ADC_BITS)
+        for target in targets
+    }
+
+
 def _perturb(center: MixerDesign, knobs: Sequence[str], span: float,
              rng: np.random.Generator) -> MixerDesign:
     """One candidate: every knob scaled log-normally around ``center``.
@@ -292,7 +338,11 @@ def run_yield_opt(design: MixerDesign | None = None,
         ``waveform_p1db_dbm``) score every corner through the batched
         waveform engine — the FFT-measured Fig. 10 intercept and Table I
         compression point as optimisation constraints, sharded and cached
-        like everything else.
+        like everything else.  The digitally-measured spec
+        (``digital_snr_db``) scores every corner through the fixed-point
+        digital-IF chain at :data:`DIGITAL_SCORE_ADC_BITS` bits, so "the
+        sampled receiver must still resolve X dB SNR at this corner" can
+        gate the search too.
     knobs:
         Design parameters the search may move (subset of
         :data:`SEARCHABLE_KNOBS`); ``None`` selects :data:`DEFAULT_KNOBS`.
@@ -330,11 +380,14 @@ def run_yield_opt(design: MixerDesign | None = None,
     seed = int(seed)
 
     # Analytic targets score through the spec sweep engine, waveform
-    # targets through the batched waveform engine; each engine only runs
-    # when the target list demands it, and each solves no more specs/modes
-    # than the score needs.
-    analytic_targets = [t for t in target_list if not t.is_waveform]
+    # targets through the batched waveform engine, digital targets through
+    # the fixed-point digital-IF engine; each engine only runs when the
+    # target list demands it, and each solves no more specs/modes than the
+    # score needs.
+    analytic_targets = [t for t in target_list
+                        if not (t.is_waveform or t.is_digital)]
     waveform_targets = [t for t in target_list if t.is_waveform]
+    digital_targets = [t for t in target_list if t.is_digital]
     specs = tuple(spec for spec in ALL_SPECS
                   if any(t.spec == spec for t in analytic_targets))
     modes = tuple(mode for mode in (MixerMode.ACTIVE, MixerMode.PASSIVE)
@@ -351,6 +404,8 @@ def run_yield_opt(design: MixerDesign | None = None,
         base, runner = resolve_design(design), None
     wave_runner = make_waveform_runner(base, workers=workers, cache=cache) \
         if waveform_targets else None
+    digital_runner = make_digital_runner(base, workers=workers, cache=cache) \
+        if digital_targets else None
     spread = DeviceSpread()
 
     best_design = base
@@ -394,6 +449,10 @@ def run_yield_opt(design: MixerDesign | None = None,
         if wave_runner is not None:
             wave_values = _waveform_corner_values(wave_runner, corner_designs,
                                                   waveform_targets, base)
+        digital_values: dict[str, np.ndarray] = {}
+        if digital_runner is not None:
+            digital_values = _digital_corner_values(
+                digital_runner, corner_designs, digital_targets, base)
         evaluations += population * num_samples
 
         # Score: pass masks per target, AND-ed into the overall yield.
@@ -403,6 +462,8 @@ def run_yield_opt(design: MixerDesign | None = None,
         for target in target_list:
             if target.is_waveform:
                 values = wave_values[target.key]
+            elif target.is_digital:
+                values = digital_values[target.key]
             else:
                 values = sweep.values(target.spec, mode=target.mode)
             mask = target.passes(values.reshape(shape))

@@ -39,9 +39,15 @@ from repro.sweep.runner import ALL_SPECS
 #: :func:`repro.optimize.search.run_yield_opt`.
 WAVEFORM_SPECS = ("waveform_iip3_dbm", "waveform_p1db_dbm")
 
+#: Digitally-measured specs the optimiser can bound: the baseband SNR of
+#: the fixed-point digital-IF chain (:mod:`repro.digital`) at the scoring
+#: ADC resolution, evaluated over each candidate's actual IF waveform —
+#: see :func:`repro.optimize.search.run_yield_opt`.
+DIGITAL_SPECS = ("digital_snr_db",)
+
 #: Every spec a target may bound: the analytic sweep specs plus the
-#: waveform-measured ones.
-TARGETABLE_SPECS = ALL_SPECS + WAVEFORM_SPECS
+#: waveform- and digitally-measured ones.
+TARGETABLE_SPECS = ALL_SPECS + WAVEFORM_SPECS + DIGITAL_SPECS
 
 
 @dataclass(frozen=True)
@@ -51,9 +57,11 @@ class SpecTarget:
     Either bound may be ``None`` (open); at least one must be given.  The
     bounds are inclusive, matching
     :meth:`~repro.sweep.montecarlo.MonteCarloResult.yield_fraction`.
-    ``spec`` may name an analytic sweep spec (:data:`ALL_SPECS`) or a
+    ``spec`` may name an analytic sweep spec (:data:`ALL_SPECS`), a
     waveform-measured one (:data:`WAVEFORM_SPECS` — the FFT-measured IIP3
-    and P1dB, scored through the batched waveform engine).
+    and P1dB, scored through the batched waveform engine), or a digitally
+    measured one (:data:`DIGITAL_SPECS` — the fixed-point digital-IF SNR,
+    scored through the quantized back end over each corner's waveform).
     """
 
     spec: str
@@ -84,6 +92,11 @@ class SpecTarget:
     def is_waveform(self) -> bool:
         """True when this target bounds a waveform-measured spec."""
         return self.spec in WAVEFORM_SPECS
+
+    @property
+    def is_digital(self) -> bool:
+        """True when this target bounds a digitally-measured spec."""
+        return self.spec in DIGITAL_SPECS
 
     def passes(self, values: np.ndarray) -> np.ndarray:
         """Boolean pass mask of ``values`` against this target's bounds."""

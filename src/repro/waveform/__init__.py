@@ -39,6 +39,7 @@ from repro.waveform.cache import (
 )
 from repro.waveform.engine import (
     WaveformRunner,
+    device_output,
     evaluate_plan,
     waveform_fft_count,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "WaveformResult",
     "WaveformRunner",
     "default_waveform_cache_dir",
+    "device_output",
     "evaluate_plan",
     "make_waveform_runner",
     "resolve_waveform_cache",

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.config import MixerDesign
+from repro.core.config import MixerDesign, MixerMode
 from repro.core.reconfigurable_mixer import ReconfigurableMixer
 from repro.core.transconductance import solve_widths
 from repro.rf.signal import WaveformTransfer
@@ -118,20 +118,16 @@ def stimulus_block(plan: StimulusPlan) -> np.ndarray:
     return block
 
 
-def evaluate_plan(device: WaveformTransfer, plan: StimulusPlan,
-                  block: np.ndarray | None = None) -> dict[str, np.ndarray]:
-    """Run one plan through a device: the batched core of every bench.
+def device_output(device: WaveformTransfer, plan: StimulusPlan,
+                  block: np.ndarray | None = None) -> np.ndarray:
+    """The device's time-domain output block for one plan.
 
-    One stacked time-domain evaluation plus one batched FFT produce every
-    measure array at once; each array has one entry per input power and is
-    numerically equivalent (<= 1e-9) to the scalar per-power measurement —
-    the stimulus scaling, device maths and bin reads are the same
-    operations, just vectorized across the power axis.  ``block`` lets a
-    caller reuse one :func:`stimulus_block` across many cells of the same
-    plan.
+    The chunked stacked evaluation shared by :func:`evaluate_plan` (which
+    follows it with the measurement FFT) and the time-domain tap
+    (:meth:`WaveformRunner.time_domain`) the digital back end consumes —
+    one code path, so the spectra the benches read and the sample blocks
+    the quantized IF chain digests can never drift apart.
     """
-    global _FFT_EVALS
-    powers = plan.powers()
     if block is None:
         block = stimulus_block(plan)
     rows = block.shape[0]
@@ -150,6 +146,24 @@ def evaluate_plan(device: WaveformTransfer, plan: StimulusPlan,
         raise ValueError(
             f"device returned shape {out.shape} for input {block.shape}; "
             "waveform devices must preserve the (powers, samples) block")
+    return out
+
+
+def evaluate_plan(device: WaveformTransfer, plan: StimulusPlan,
+                  block: np.ndarray | None = None) -> dict[str, np.ndarray]:
+    """Run one plan through a device: the batched core of every bench.
+
+    One stacked time-domain evaluation plus one batched FFT produce every
+    measure array at once; each array has one entry per input power and is
+    numerically equivalent (<= 1e-9) to the scalar per-power measurement —
+    the stimulus scaling, device maths and bin reads are the same
+    operations, just vectorized across the power axis.  ``block`` lets a
+    caller reuse one :func:`stimulus_block` across many cells of the same
+    plan.
+    """
+    global _FFT_EVALS
+    powers = plan.powers()
+    out = device_output(device, plan, block=block)
     raw = np.fft.rfft(out, axis=-1)
     _FFT_EVALS += 1
 
@@ -204,6 +218,13 @@ class WaveformRunner:
         # tones of a repeated bench are built exactly once.
         self._mixers: dict[MixerDesign, ReconfigurableMixer] = {}
         self._stimuli: dict[StimulusPlan, np.ndarray] = {}
+        # Time-domain IF output blocks per (design, mode, plan) cell — the
+        # hand-off the digital back end (repro.digital) consumes.  Memoized
+        # so a bit-width sweep re-reading the same cell never re-runs the
+        # device model; entries are marked read-only because every consumer
+        # shares the one array.
+        self._taps: dict[tuple[MixerDesign, MixerMode, StimulusPlan],
+                         np.ndarray] = {}
 
     def mixer_for(self, design: MixerDesign) -> ReconfigurableMixer:
         """The memoized mixer instance for a design record."""
@@ -212,6 +233,58 @@ class WaveformRunner:
             mixer = ReconfigurableMixer(design)
             self._mixers[design] = mixer
         return mixer
+
+    def time_domain(self, plan: StimulusPlan, mode: MixerMode,
+                    design: MixerDesign | None = None) -> np.ndarray:
+        """The sampled IF output block of one (design, mode) cell.
+
+        The stable hand-off point for mixed-signal consumers: the stacked
+        ``(powers, samples)`` differential IF voltage the device produces
+        for ``plan``'s stimulus, evaluated on the same periodic fast path
+        as :meth:`run` and memoized per (design, mode, plan) — a digital
+        back end sweeping ADC bit widths over one operating point pays for
+        the analog evaluation exactly once.  The returned array is
+        **read-only** (consumers share it); copy before mutating.  Raw
+        sample blocks are deliberately not written to the on-disk measure
+        caches — downstream subsystems cache their own derived measures,
+        keyed on a plan hash that covers their parameters plus this
+        stimulus (:meth:`repro.digital.plan.DigitalIfPlan.content_hash`).
+        """
+        if not isinstance(plan, StimulusPlan):
+            raise TypeError("time_domain() needs a StimulusPlan")
+        if not isinstance(mode, MixerMode):
+            raise TypeError("mode must be a MixerMode member")
+        record = design if design is not None else self.design
+        key = (record, mode, plan)
+        out = self._taps.get(key)
+        if out is not None:
+            return out
+        block = self._stimuli.get(plan)
+        if block is None:
+            block = stimulus_block(plan)
+            self._stimuli[plan] = block
+        mixer = self.mixer_for(record)
+        mixer.set_mode(mode)
+        device = mixer.waveform_device(
+            plan.sample_rate, lo_frequency=plan.lo_frequency,
+            rf_band_frequency=plan.rf_band_frequency,
+            assume_periodic=True)
+        out = device_output(device, plan, block=block)
+        out.setflags(write=False)
+        self._taps[key] = out
+        return out
+
+    def presize_designs(self, records, labels) -> int:
+        """Batch-size the Gm devices of the given designs before evaluation.
+
+        Public face of the pre-sizing pass for engines layered on top of
+        the tap (the digital runner): call once with every pending design
+        so a population's width bisections run as one
+        :func:`~repro.core.transconductance.solve_widths` block.  Returns
+        the number of designs batch-sized (0 below the batch threshold —
+        the lazy per-cell path then solves them identically).
+        """
+        return self._presize(list(records), list(labels))
 
     # -- execution ------------------------------------------------------------
 

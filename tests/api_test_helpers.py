@@ -36,6 +36,10 @@ SMALL_GRIDS: dict[str, dict] = {
     "power_budget": {},
     "tia_response": {"points": 16},
     "ablation": {},
+    "digital_if": {"adc_bits": [6, 10, 14]},
+    "bits_floor": {"adc_candidates": [10, 12, 14, 16],
+                   "lo_candidates": [8, 12],
+                   "output_candidates": [16, 20]},
     "yield_opt": {
         "population": 3,
         "iterations": 2,

@@ -59,7 +59,8 @@ class TestRegistry:
         batchable = {spec.name for spec in registry
                      if spec.batch_runner is not None}
         assert batchable == {"fig8", "fig9", "table1",
-                             "fig10", "iip2", "p1db"}
+                             "fig10", "iip2", "p1db",
+                             "digital_if", "bits_floor"}
 
     def test_circuit_checks_reject_engine_options(self, registry):
         # The waveform benches now ride the engines (workers/cache apply);

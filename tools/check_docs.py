@@ -30,7 +30,8 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = ["README.md", "docs/architecture.md", "docs/api.md",
-        "docs/waveforms.md", "docs/optimization.md", "docs/benchmarks.md"]
+        "docs/waveforms.md", "docs/digital.md", "docs/optimization.md",
+        "docs/benchmarks.md"]
 
 #: Markdown links: [text](target) — external schemes and anchors are skipped.
 _LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)[^)]*\)")

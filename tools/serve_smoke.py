@@ -18,6 +18,9 @@ request shapes:
   population vs per-design :func:`run_fig10` / :func:`run_iip2` calls —
   the waveform benches fan out through the batched waveform engine and
   must not change a single double either;
+* ``POST /v1/spec`` with a ``digital_if`` request vs a direct
+  :func:`repro.experiments.run_digital_if` call — the fixed-point digital
+  back end (quantized NCO/CIC down-conversion) must serve bit-identically;
 * ``POST /v1/spec`` with a small ``yield_opt`` search vs a direct
   :func:`repro.optimize.run_yield_opt` call — the corner-aware optimiser
   must be servable bit-identically like every other experiment;
@@ -150,6 +153,32 @@ def check_p1db_spec(base_url: str) -> int:
     print("serve smoke OK: p1db compression sweep over HTTP is "
           "bit-identical to run_p1db() "
           f"[measured {expected.passive.measured_p1db_dbm:.2f} dBm passive]")
+    return 0
+
+
+#: ADC resolutions exercised by the served digital-IF check.
+DIGITAL_BITS = [6, 10, 14]
+
+
+def check_digital_if(base_url: str) -> int:
+    from repro.api import SpecRequest, encode
+    from repro.experiments import run_digital_if
+
+    request = SpecRequest(experiment="digital_if",
+                          grid={"adc_bits": DIGITAL_BITS})
+    served = post_json(base_url + "/v1/spec", request.to_dict())
+    expected = run_digital_if(adc_bits=DIGITAL_BITS)
+    if served["result"] != encode(expected):
+        print("FAIL: served digital_if payload differs from "
+              "run_digital_if()", file=sys.stderr)
+        return 1
+    if served["result_schema"] != "DigitalIfResult":
+        print(f"FAIL: unexpected result_schema "
+              f"{served['result_schema']!r}", file=sys.stderr)
+        return 1
+    print("serve smoke OK: digital-IF quantization sweep over HTTP is "
+          "bit-identical to run_digital_if() "
+          f"[peak SNR {expected.active.peak_snr_db:.1f} dB active]")
     return 0
 
 
@@ -352,6 +381,7 @@ def main() -> int:
         status = status or check_p1db_spec(base_url)
         status = status or check_batch_population(base_url)
         status = status or check_waveform_batch(base_url)
+        status = status or check_digital_if(base_url)
         status = status or check_yield_opt(base_url)
         status = status or check_jobs_async(base_url)
         status = status or check_metrics(base_url)
