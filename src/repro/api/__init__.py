@@ -17,6 +17,7 @@ from repro.api.registry import (
 )
 from repro.api.request import (
     API_VERSION,
+    ApiVersionError,
     RequestValidationError,
     SpecRequest,
     SpecResponse,
@@ -28,6 +29,7 @@ from repro.api.service import MixerService
 
 __all__ = [
     "API_VERSION",
+    "ApiVersionError",
     "ExperimentRegistry",
     "ExperimentSpec",
     "GLOBAL_REGISTRY",

@@ -27,11 +27,33 @@ from repro.core.config import MixerDesign
 #: the payloads invalidates cached responses instead of reinterpreting them.
 #: v2: non-finite floats travel as ``{"__float__": ...}`` tags (strict JSON)
 #: instead of bare ``Infinity``/``NaN`` tokens.
-API_VERSION = 2
+#: v3: requests carry an explicit ``api_version`` field (mismatches are a
+#: structured error naming both versions instead of a silent reinterpretation),
+#: optimisation requests travel the standard envelope (``yield_pareto``
+#: joined the registry; the ``YieldRequest`` side-door is deprecated), and
+#: ``GET /v1/experiments`` serves the registry metadata.
+API_VERSION = 3
 
 
 class RequestValidationError(ValueError):
     """A request that cannot be dispatched (unknown experiment, bad grid...)."""
+
+
+class ApiVersionError(RequestValidationError):
+    """Client and server speak different wire-format versions.
+
+    Carries both versions so every surface can say exactly which side is
+    behind — the HTTP layer turns this into a structured 400 body naming
+    ``client_api_version`` and ``server_api_version``.
+    """
+
+    def __init__(self, client_version: Any,
+                 server_version: int = API_VERSION) -> None:
+        self.client_version = client_version
+        self.server_version = server_version
+        super().__init__(
+            f"api_version mismatch: request speaks {client_version!r}, "
+            f"this side speaks {server_version}")
 
 
 def _jsonable_grid_value(value: Any) -> Any:
@@ -141,7 +163,8 @@ class SpecRequest:
 
     def to_dict(self) -> dict:
         """JSON-ready request (what the HTTP endpoint accepts)."""
-        payload: dict = {"experiment": self.experiment,
+        payload: dict = {"api_version": API_VERSION,
+                         "experiment": self.experiment,
                          "design": self.design.to_dict()}
         if self.grid:
             payload["grid"] = {name: _jsonable_grid_value(value)
@@ -162,15 +185,22 @@ class SpecRequest:
         """Rebuild a request from :meth:`to_dict` output (or hand-written JSON).
 
         ``design`` may be omitted (the paper's default design point) or a
-        mapping accepted by :meth:`MixerDesign.from_dict`.
+        mapping accepted by :meth:`MixerDesign.from_dict`.  ``api_version``
+        may be omitted (hand-written payloads are read as current), but a
+        present mismatching version raises :class:`ApiVersionError` — a
+        v2 client's payload must not be silently reinterpreted as v3.
         """
         if not isinstance(payload, Mapping):
             raise RequestValidationError("request payload must be a mapping")
-        known = {"experiment", "design", "grid", "workers", "cache"}
+        known = {"api_version", "experiment", "design", "grid", "workers",
+                 "cache"}
         unknown = sorted(set(payload) - known)
         if unknown:
             raise RequestValidationError(
                 f"unknown request fields {unknown}; accepted: {sorted(known)}")
+        version = payload.get("api_version")
+        if version is not None and version != API_VERSION:
+            raise ApiVersionError(version)
         if "experiment" not in payload:
             raise RequestValidationError("request needs an 'experiment' field")
         design_payload = payload.get("design")
@@ -245,8 +275,7 @@ class SpecResponse:
     def from_dict(cls, payload: Mapping[str, Any]) -> "SpecResponse":
         """Rebuild a response from :meth:`to_dict` output (HTTP client side)."""
         if payload.get("api_version") != API_VERSION:
-            raise ValueError(f"unsupported api_version "
-                             f"{payload.get('api_version')!r}")
+            raise ApiVersionError(payload.get("api_version"))
         return cls(
             experiment=str(payload["experiment"]),
             design_fingerprint=str(payload["design_fingerprint"]),

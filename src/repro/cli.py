@@ -30,6 +30,8 @@ from pathlib import Path
 from typing import Any
 
 from repro.api.request import (
+    API_VERSION,
+    ApiVersionError,
     RequestValidationError,
     SpecRequest,
     SpecResponse,
@@ -138,10 +140,20 @@ def _submit_job(url: str, request: SpecRequest,
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    service = MixerService(response_cache=False)
-    entries = service.experiments()
+    if args.url:
+        # The server's registry, not this process's: clients stop
+        # hard-coding experiment shapes by reading the listing remotely.
+        payload = _http_json(args.url.rstrip("/") + "/v1/experiments")
+        version = payload.get("api_version")
+        if version != API_VERSION:
+            raise ApiVersionError(version)
+        entries = payload["experiments"]
+    else:
+        service = MixerService(response_cache=False)
+        entries = service.experiments()
     if args.json:
-        print(json.dumps({"experiments": entries}, indent=2))
+        print(json.dumps({"api_version": API_VERSION,
+                          "experiments": entries}, indent=2))
         return 0
     width = max(len(entry["name"]) for entry in entries)
     for entry in entries:
@@ -190,6 +202,10 @@ def main(argv: list[str] | None = None) -> int:
         "list", help="list the registered experiments")
     list_parser.add_argument("--json", action="store_true",
                              help="print the registry metadata as JSON")
+    list_parser.add_argument("--url", default=None,
+                             help="read the listing from a running "
+                                  "repro.serve instance (GET /v1/experiments)"
+                                  " instead of the in-process registry")
     list_parser.set_defaults(handler=_cmd_list)
 
     run_parser = commands.add_parser(

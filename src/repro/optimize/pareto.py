@@ -1,0 +1,370 @@
+"""Multi-objective results: objectives, non-dominated fronts, Pareto search.
+
+The paper's mixer is reconfigurable precisely because gain, noise,
+linearity and power pull against each other across modes — a single-scalar
+yield number cannot express that trade-off.  This module is the vocabulary
+the multi-objective mode of :mod:`repro.optimize.search` speaks:
+
+* an :class:`Objective` names one quantity to push and the direction to
+  push it — the Monte-Carlo ``yield`` against the configured targets, or
+  any :data:`~repro.optimize.targets.TARGETABLE_SPECS` metric in one mode
+  (its mean over the candidate's sampled corners);
+* a :class:`ParetoPoint` is one candidate design on the trade-off surface:
+  the design record itself, its objective vector, and its per-target yield
+  breakdown;
+* a :class:`ParetoFront` is the running set of mutually non-dominated
+  points, deduplicated by design fingerprint and kept in a deterministic
+  order so the front is bit-identical across worker counts and surfaces;
+* a :class:`ParetoOptResult` is the search's first-class answer — the
+  front plus the per-generation snapshot history the async job surface
+  streams out of ``GET /v1/jobs/<id>``.
+
+Objectives travel the API as plain JSON arrays ``[metric, mode,
+direction]`` (``mode`` is ``null`` for ``yield``), the same convention as
+:class:`~repro.optimize.targets.SpecTarget` wire bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import MixerDesign, MixerMode
+from repro.optimize.targets import TARGETABLE_SPECS, SpecTarget
+
+#: Metric name selecting the Monte-Carlo yield against the target set.
+OBJECTIVE_YIELD = "yield"
+
+#: Accepted optimisation directions.
+DIRECTIONS = ("max", "min")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of the trade-off: push ``metric`` in ``direction``.
+
+    ``metric`` is either :data:`OBJECTIVE_YIELD` (the fraction of
+    Monte-Carlo corners passing every configured target — ``mode`` must be
+    ``None``) or any targetable spec name, in which case ``mode`` selects
+    the mixer mode and the scored value is the **mean over the candidate's
+    sampled corners** (deterministic, like every other aggregate).
+    """
+
+    metric: str
+    mode: MixerMode | None = None
+    direction: str = "max"
+
+    def __post_init__(self) -> None:
+        if self.metric == OBJECTIVE_YIELD:
+            if self.mode is not None:
+                raise ValueError("the yield objective is mode-less (targets "
+                                 "carry the per-mode bounds); pass mode=None")
+        elif self.metric in TARGETABLE_SPECS:
+            if not isinstance(self.mode, MixerMode):
+                raise ValueError(f"objective on {self.metric!r} needs a "
+                                 "MixerMode")
+        else:
+            raise ValueError(f"unknown objective metric {self.metric!r}; "
+                             f"choose 'yield' or one of {TARGETABLE_SPECS}")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}, "
+                             f"got {self.direction!r}")
+
+    @property
+    def key(self) -> str:
+        """Stable identifier (matches :attr:`SpecTarget.key` for specs)."""
+        if self.metric == OBJECTIVE_YIELD:
+            return OBJECTIVE_YIELD
+        return f"{self.mode.value}:{self.metric}"
+
+    @property
+    def sign(self) -> float:
+        """+1 for maximised objectives, -1 for minimised ones."""
+        return 1.0 if self.direction == "max" else -1.0
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``minimize active:power_mw``."""
+        verb = "maximize" if self.direction == "max" else "minimize"
+        return f"{verb} {self.key}"
+
+    # -- wire format ----------------------------------------------------------
+
+    def to_wire(self) -> list:
+        """JSON-array form: ``[metric, mode, direction]``."""
+        return [self.metric,
+                self.mode.value if self.mode is not None else None,
+                self.direction]
+
+    @classmethod
+    def from_wire(cls, payload: Sequence) -> "Objective":
+        """Rebuild an objective from :meth:`to_wire` output (or raw JSON)."""
+        if isinstance(payload, Objective):
+            return payload
+        if not isinstance(payload, (list, tuple)) or len(payload) != 3:
+            raise ValueError("a wire objective is [metric, mode, direction], "
+                             f"got {payload!r}")
+        metric, mode, direction = payload
+        return cls(
+            metric=str(metric),
+            mode=None if mode is None
+            else (mode if isinstance(mode, MixerMode) else MixerMode(mode)),
+            direction=str(direction),
+        )
+
+
+def default_objectives() -> tuple[Objective, ...]:
+    """The canonical trade-off: yield vs active power vs active gain."""
+    return (
+        Objective(OBJECTIVE_YIELD),
+        Objective("power_mw", MixerMode.ACTIVE, "min"),
+        Objective("conversion_gain_db", MixerMode.ACTIVE, "max"),
+    )
+
+
+def default_objectives_wire() -> list[list]:
+    """:func:`default_objectives` in wire form (the registry default)."""
+    return [objective.to_wire() for objective in default_objectives()]
+
+
+def parse_objectives(objectives: Sequence | None) -> tuple[Objective, ...]:
+    """Normalise an objective list (typed and/or wire forms).
+
+    ``None`` selects :func:`default_objectives`.  At least two objectives
+    are required (one objective is a scalar search — use ``yield_opt``),
+    and duplicate keys are rejected like duplicate targets.
+    """
+    if objectives is None:
+        return default_objectives()
+    parsed = tuple(Objective.from_wire(entry) for entry in objectives)
+    if len(parsed) < 2:
+        raise ValueError("a Pareto search needs at least two objectives "
+                         "(a single objective is the scalar yield_opt)")
+    seen: set[str] = set()
+    for objective in parsed:
+        if objective.key in seen:
+            raise ValueError(f"duplicate objective for {objective.key!r}")
+        seen.add(objective.key)
+    return parsed
+
+
+# -- dominance ----------------------------------------------------------------
+
+
+def pareto_mask(signed: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of a sign-adjusted matrix.
+
+    ``signed`` is ``(n_points, n_objectives)`` with every column already
+    oriented so larger is better.  A row is dominated when another row is
+    at least as good on every objective and strictly better on one.
+    Comparisons involving NaN are false, so a NaN-scored point neither
+    dominates nor is dominated — it survives, and the caller's bounds
+    should have filtered it.
+    """
+    signed = np.asarray(signed, dtype=float)
+    n = signed.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        at_least = np.all(signed >= signed[i], axis=1)
+        better = np.any(signed > signed[i], axis=1)
+        if np.any(at_least & better & mask):
+            mask[i] = False
+    return mask
+
+
+def nondominated_rank(signed: np.ndarray) -> np.ndarray:
+    """NSGA-style front index per row (0 = the non-dominated front)."""
+    signed = np.asarray(signed, dtype=float)
+    ranks = np.full(signed.shape[0], -1, dtype=int)
+    remaining = np.arange(signed.shape[0])
+    front = 0
+    while remaining.size:
+        mask = pareto_mask(signed[remaining])
+        ranks[remaining[mask]] = front
+        remaining = remaining[~mask]
+        front += 1
+    return ranks
+
+
+def crowding_distance(signed: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance of each row within its own set.
+
+    Boundary points get ``inf``; interior points the normalised gap to
+    their neighbours summed over objectives.  Ties in a column sort break
+    by row index, so the distances are deterministic.
+    """
+    signed = np.asarray(signed, dtype=float)
+    n, m = signed.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for col in range(m):
+        order = np.lexsort((np.arange(n), signed[:, col]))
+        spread = signed[order[-1], col] - signed[order[0], col]
+        distance[order[0]] = distance[order[-1]] = np.inf
+        if spread <= 0 or not math.isfinite(spread):
+            continue
+        gaps = (signed[order[2:], col] - signed[order[:-2], col]) / spread
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+def pareto_order(signed: np.ndarray) -> list[int]:
+    """Deterministic selection order: front rank, then crowding, then index.
+
+    This is the fitness ordering the proposal strategies consume in Pareto
+    mode — the same convention NSGA-II uses for environmental selection.
+    """
+    signed = np.asarray(signed, dtype=float)
+    ranks = nondominated_rank(signed)
+    crowding = np.zeros(signed.shape[0])
+    for front in np.unique(ranks):
+        members = np.flatnonzero(ranks == front)
+        crowding[members] = crowding_distance(signed[members])
+    return sorted(range(signed.shape[0]),
+                  key=lambda i: (ranks[i], -crowding[i], i))
+
+
+# -- the front ----------------------------------------------------------------
+
+
+@dataclass
+class ParetoPoint:
+    """One candidate on the trade-off surface."""
+
+    label: str
+    design: MixerDesign
+    objectives: np.ndarray          # raw values, aligned with the front's list
+    overall_yield: float
+    spec_yields: dict[str, float]
+
+    def design_fingerprint(self) -> str:
+        """Stable content hash of the point's design record."""
+        return self.design.fingerprint()
+
+
+@dataclass
+class ParetoFront:
+    """The non-dominated set, deterministically ordered.
+
+    Points are sorted by their sign-adjusted objective vector, best-first
+    lexicographically in objective order, with the label as the final tie
+    break — so the same evaluated population always yields the same front
+    in the same order, independent of insertion order, worker count or
+    serving surface.
+    """
+
+    objectives: list[Objective]
+    points: list[ParetoPoint]
+
+    @property
+    def size(self) -> int:
+        return len(self.points)
+
+    def signs(self) -> np.ndarray:
+        return np.array([objective.sign for objective in self.objectives])
+
+    def objective_matrix(self) -> np.ndarray:
+        """Raw ``(size, n_objectives)`` matrix in front order."""
+        if not self.points:
+            return np.empty((0, len(self.objectives)))
+        return np.vstack([point.objectives for point in self.points])
+
+    def fingerprints(self) -> list[str]:
+        """Design fingerprints in front order."""
+        return [point.design_fingerprint() for point in self.points]
+
+    @classmethod
+    def from_points(cls, objectives: Sequence[Objective],
+                    points: Sequence[ParetoPoint]) -> "ParetoFront":
+        """The non-dominated, fingerprint-deduplicated front of ``points``."""
+        objectives = list(objectives)
+        candidates = list(points)
+        if not candidates:
+            return cls(objectives=objectives, points=[])
+        signs = np.array([objective.sign for objective in objectives])
+        signed = np.vstack([point.objectives for point in candidates]) * signs
+        keep = [candidates[i] for i in np.flatnonzero(pareto_mask(signed))]
+        keep.sort(key=lambda point: (
+            tuple(-value for value in
+                  np.asarray(point.objectives, dtype=float) * signs),
+            point.label))
+        seen: set[str] = set()
+        unique: list[ParetoPoint] = []
+        for point in keep:
+            fingerprint = point.design_fingerprint()
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            unique.append(point)
+        return cls(objectives=objectives, points=unique)
+
+    def merged_with(self, points: Sequence[ParetoPoint]) -> "ParetoFront":
+        """A new front: this front's points plus ``points``, re-filtered."""
+        return ParetoFront.from_points(self.objectives,
+                                       list(self.points) + list(points))
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready summary of the front (one dict per point, in order).
+
+        Non-finite objective values are tagged ``{"__float__": ...}`` so a
+        snapshot can travel the strict-JSON progress channel verbatim.
+        """
+        out = []
+        for point in self.points:
+            values = [value if math.isfinite(value)
+                      else {"__float__": repr(value)}
+                      for value in (float(v) for v in point.objectives)]
+            out.append({"label": point.label,
+                        "fingerprint": point.design_fingerprint(),
+                        "objectives": values})
+        return out
+
+
+@dataclass
+class ParetoOptResult:
+    """The multi-objective search's answer: the front and how it grew."""
+
+    front: ParetoFront
+    objectives: list[Objective]
+    targets: list[SpecTarget]
+    knobs: list[str]
+    strategy: str
+    population: int
+    iterations: int
+    num_samples: int
+    seed: int
+    evaluations: int
+    initial_design: MixerDesign
+    baseline_point: ParetoPoint
+    front_history: list
+
+    def front_fingerprints(self) -> list[str]:
+        """Design fingerprints of the final front, in front order."""
+        return self.front.fingerprints()
+
+
+def format_pareto_report(result: ParetoOptResult) -> str:
+    """Text rendering of a Pareto search (front table + growth trail)."""
+    lines = [
+        f"Multi-objective yield optimisation — {result.population} candidates "
+        f"x {result.iterations} generations, {result.num_samples} corners "
+        f"each (seed {result.seed}, strategy {result.strategy})",
+        "  objectives: " + ", ".join(objective.describe()
+                                     for objective in result.objectives),
+    ]
+    header = "  ".join(f"{objective.key:>24}"
+                       for objective in result.objectives)
+    lines.append(f"  {'point':<14}{header}")
+    for point in result.front.points:
+        values = "  ".join(f"{value:>24.3f}" for value in point.objectives)
+        lines.append(f"  {point.label:<14}{values}")
+    trail = " -> ".join(str(len(snapshot))
+                        for snapshot in result.front_history)
+    lines.append(f"  front size by generation: {trail} "
+                 f"[{result.evaluations} corner evaluations]")
+    return "\n".join(lines)

@@ -1,27 +1,29 @@
-"""Typed front door of the ``yield_opt`` experiment.
+"""Deprecated typed front door of the ``yield_opt`` experiment.
 
-:class:`YieldRequest` is a convenience layer over the generic
-:class:`~repro.api.request.SpecRequest`: the same search options
-:func:`~repro.optimize.search.run_yield_opt` takes, as typed fields, with
-``None`` meaning "use the registered default" — so an all-defaults
-``YieldRequest`` produces exactly the same request key (and therefore the
-same response-cache entry) as a hand-built ``SpecRequest(experiment=
-"yield_opt")`` or a bare CLI/HTTP call.
+.. deprecated::
+    Optimisation requests travel the same registry-validated
+    :class:`~repro.api.request.SpecRequest` envelope as every other
+    experiment — build one directly with the search options as grid
+    parameters::
 
-.. code-block:: python
+        from repro.api import MixerService, SpecRequest
 
-    from repro.api import MixerService
-    from repro.optimize import YieldRequest
+        response = MixerService().submit(SpecRequest(
+            experiment="yield_opt",
+            grid={"num_samples": 8, "population": 4, "iterations": 2}))
+        print(response.result.best_design.to_dict())
 
-    response = MixerService().submit(YieldRequest(num_samples=8,
-                                                  population=4,
-                                                  iterations=2)
-                                     .to_spec_request())
-    print(response.result.best_design.to_dict())
+    :class:`YieldRequest` remains as a conversion shim for old callers —
+    ``to_spec_request()`` still produces a byte-identical envelope (same
+    request key, same response-cache entry, pinned in
+    ``tests/test_optimize.py``) — but constructing one emits a
+    ``DeprecationWarning`` and the class will be removed once nothing
+    constructs it.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -33,7 +35,7 @@ from repro.optimize.targets import SpecTarget
 
 @dataclass(frozen=True)
 class YieldRequest:
-    """One "find the highest-yield design around this record" call.
+    """Deprecated shim: build a ``yield_opt`` :class:`SpecRequest` instead.
 
     Every ``None`` field is omitted from the request grid and resolves to
     the experiment's registered default, keeping the request key identical
@@ -51,6 +53,13 @@ class YieldRequest:
     shrink: float | None = None
     workers: int | None = None
     cache: Any = None
+
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "YieldRequest is deprecated; build a SpecRequest("
+            "experiment='yield_opt', grid={...}) envelope directly — "
+            "the wire form and request key are identical",
+            DeprecationWarning, stacklevel=3)
 
     def to_spec_request(self) -> SpecRequest:
         """The equivalent generic :class:`SpecRequest` (the wire unit)."""

@@ -10,12 +10,14 @@ are the paper's Table I numbers with margins
 (:func:`~repro.optimize.targets.default_targets`), so the search answer is
 "the design that still makes Table I when the process moves".
 
-The search is a seeded, shrinking-span pattern search:
+The outer loop is a seeded population search:
 
-1. each iteration proposes ``population`` candidates by perturbing the
-   current centre's knobs log-normally (span ``search_span``, shrinking by
-   ``shrink`` each iteration; iteration 0 scores the incoming design itself
-   as candidate 0 — the baseline);
+1. each generation proposes ``population`` candidates through a pluggable
+   :mod:`~repro.optimize.strategies` proposal strategy — the default
+   shrinking-span pattern search, or the covariance-adapted CMA-ES sampler
+   (``strategy="cma"``) that learns the knob covariance from each scored
+   generation; generation 0 scores the incoming design itself as
+   candidate 0, the baseline;
 2. every candidate's ``num_samples`` Monte-Carlo corners are evaluated as
    **one design axis** through the sweep engine
    (:func:`repro.sweep.make_runner`), so ``workers=`` shards the whole
@@ -26,21 +28,33 @@ The search is a seeded, shrinking-span pattern search:
 3. the best candidate (strictly higher yield; ties keep the incumbent)
    becomes the next centre.
 
-Determinism: proposals and corners draw from per-(iteration, candidate)
-``numpy`` seed sequences, the sweep engine is bit-identical for any worker
-count, and selection is index-stable — so the same seed and targets return
-the same best-design ``fingerprint()`` on every surface and worker count
-(asserted in ``tests/test_optimize.py``).
+:func:`run_pareto_opt` is the multi-objective mode over the same engine
+plumbing: instead of a single scalar winner it maintains a non-dominated
+:class:`~repro.optimize.pareto.ParetoFront` over configurable
+:class:`~repro.optimize.pareto.Objective` axes — Monte-Carlo yield against
+the targets, plus any targetable spec metric (power, gain, NF, the
+waveform-measured IIP3/P1dB, the digital SNR) pushed up or down.  The
+front is a first-class result (per-point design record, objective vector
+and per-target yield breakdown) and every generation streams a front
+snapshot through the :mod:`repro.api.progress` channel, so a long search
+is observable from ``GET /v1/jobs/<id>``.
 
-Registered as the ``yield_opt`` experiment, so the same search runs through
-:class:`~repro.api.service.MixerService`, ``python -m repro.serve`` and
-``python -m repro.cli`` — see :class:`~repro.optimize.request.YieldRequest`
-for the typed front door.
+Determinism: proposals and corners draw from per-(generation, candidate)
+``numpy`` seed sequences, the sweep engine is bit-identical for any worker
+count, and selection/front ordering is index- and fingerprint-stable — so
+the same seed and parameters return the same best-design (or front)
+fingerprints on every surface and worker count (asserted in
+``tests/test_optimize.py`` / ``tests/test_pareto.py``).
+
+Registered as the ``yield_opt`` and ``yield_pareto`` experiments, so both
+searches run through :class:`~repro.api.service.MixerService`,
+``python -m repro.serve`` and ``python -m repro.cli`` via the standard
+:class:`~repro.api.request.SpecRequest` envelope.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -50,7 +64,20 @@ from repro.api.registry import register_experiment
 from repro.core.config import MixerDesign, MixerMode
 from repro.devices.technology import Technology
 from repro.digital import digital_if_plan, make_digital_runner
+from repro.optimize.pareto import (
+    Objective,
+    ParetoFront,
+    ParetoOptResult,
+    ParetoPoint,
+    default_objectives_wire,
+    format_pareto_report,
+    parse_objectives,
+    pareto_order,
+)
+from repro.optimize.strategies import STRATEGIES, make_strategy
 from repro.optimize.targets import (
+    DIGITAL_SPECS,
+    WAVEFORM_SPECS,
     SpecTarget,
     default_targets_wire,
     parse_targets,
@@ -68,8 +95,11 @@ from repro.waveform import (
     two_tone_plan,
 )
 
-#: Name under which the optimiser registers in the experiment registry.
+#: Name under which the scalar optimiser registers in the registry.
 EXPERIMENT_NAME = "yield_opt"
+
+#: Name under which the multi-objective optimiser registers.
+PARETO_EXPERIMENT_NAME = "yield_pareto"
 
 #: Design knobs the optimiser may move, in canonical (perturbation) order:
 #: transconductor gm target and bias, the two gain-setting resistances, the
@@ -152,6 +182,7 @@ class YieldOptResult:
     seed: int
     evaluations: int
     candidates: list[CandidateOutcome]
+    strategy: str = "shrinking_span"
 
     def best_fingerprint(self) -> str:
         """Stable content hash of the winning design record."""
@@ -185,12 +216,73 @@ def _validate_knobs(knobs: Sequence[str] | None) -> tuple[str, ...]:
     return resolved
 
 
-def _waveform_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
-                            targets: Sequence[SpecTarget],
-                            base: MixerDesign) -> dict[str, np.ndarray]:
-    """Score the waveform-measured targets over one corner design axis.
+def _validate_loop(population: int, iterations: int, num_samples: int,
+                   search_span: float, shrink: float) -> None:
+    if population < 2:
+        raise ValueError("population must be at least 2 (the centre plus "
+                         "at least one perturbed candidate)")
+    if iterations < 1:
+        raise ValueError("need at least one iteration")
+    if num_samples < 2:
+        raise ValueError("need at least 2 Monte-Carlo samples per candidate")
+    if search_span <= 0:
+        raise ValueError("search_span must be positive")
+    if not 0 < shrink <= 1:
+        raise ValueError("shrink must be in (0, 1]")
 
-    Returns ``target.key -> per-design value array`` aligned with
+
+@dataclass(frozen=True)
+class _MetricNeed:
+    """One (spec, mode) quantity the score needs per corner.
+
+    Duck-typed like :class:`SpecTarget` (``spec`` / ``mode`` / ``key`` and
+    the engine-routing flags) so the per-engine scorers serve targets and
+    objectives from the same table.
+    """
+
+    spec: str
+    mode: MixerMode
+
+    @property
+    def key(self) -> str:
+        return f"{self.mode.value}:{self.spec}"
+
+    @property
+    def is_waveform(self) -> bool:
+        return self.spec in WAVEFORM_SPECS
+
+    @property
+    def is_digital(self) -> bool:
+        return self.spec in DIGITAL_SPECS
+
+
+def _metric_needs(targets: Sequence[SpecTarget],
+                  objectives: Sequence[Objective] = ()) -> list[_MetricNeed]:
+    """Deduplicated (spec, mode) list the measurement table must cover.
+
+    Target order first, then objective-only metrics — keep-first dedup, so
+    the scalar search's engine calls are byte-for-byte what they were
+    before objectives existed.
+    """
+    needs: list[_MetricNeed] = []
+    seen: set[str] = set()
+    for target in targets:
+        if target.key not in seen:
+            seen.add(target.key)
+            needs.append(_MetricNeed(target.spec, target.mode))
+    for objective in objectives:
+        if objective.mode is not None and objective.key not in seen:
+            seen.add(objective.key)
+            needs.append(_MetricNeed(objective.metric, objective.mode))
+    return needs
+
+
+def _waveform_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
+                            needs: Sequence, base: MixerDesign
+                            ) -> dict[str, np.ndarray]:
+    """Score the waveform-measured metrics over one corner design axis.
+
+    Returns ``need.key -> per-design value array`` aligned with
     ``corner_designs`` order.  Each needed bench (two-tone for
     ``waveform_iip3_dbm``, single-tone for ``waveform_p1db_dbm``) is **one**
     waveform-engine call over the whole axis — sharded by ``workers=`` and
@@ -213,9 +305,9 @@ def _waveform_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
                 "multiples or score analytic specs instead")
         return plan
 
-    iip3_targets = [t for t in targets if t.spec == "waveform_iip3_dbm"]
-    if iip3_targets:
-        modes = tuple(dict.fromkeys(t.mode for t in iip3_targets))
+    iip3_needs = [n for n in needs if n.spec == "waveform_iip3_dbm"]
+    if iip3_needs:
+        modes = tuple(dict.fromkeys(n.mode for n in iip3_needs))
         tone_1 = base.lo_frequency + base.if_frequency
         plan = _checked(two_tone_plan(
             tone_1, tone_1 + WAVEFORM_TONE_SPACING_HZ,
@@ -223,21 +315,21 @@ def _waveform_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
             DEFAULT_NUM_SAMPLES, lo_frequency=base.lo_frequency))
         wave = runner.run(plan, modes=modes, designs=dict(corner_designs))
         powers = plan.powers()
-        for target in iip3_targets:
+        for need in iip3_needs:
             fitted = np.empty(len(labels))
             for index, label in enumerate(labels):
                 fit = fit_intercept_point(
                     powers,
                     wave.values("fundamental_dbm", design=label,
-                                mode=target.mode),
-                    wave.values("im3_dbm", design=label, mode=target.mode),
+                                mode=need.mode),
+                    wave.values("im3_dbm", design=label, mode=need.mode),
                     intermod_order=3)
                 fitted[index] = fit.intercept_input_dbm
-            values[target.key] = fitted
+            values[need.key] = fitted
 
-    p1db_targets = [t for t in targets if t.spec == "waveform_p1db_dbm"]
-    if p1db_targets:
-        modes = tuple(dict.fromkeys(t.mode for t in p1db_targets))
+    p1db_needs = [n for n in needs if n.spec == "waveform_p1db_dbm"]
+    if p1db_needs:
+        modes = tuple(dict.fromkeys(n.mode for n in p1db_needs))
         rf = base.lo_frequency + base.if_frequency
         plan = _checked(single_tone_plan(
             rf, WAVEFORM_P1DB_POWERS_DBM, DEFAULT_SAMPLE_RATE,
@@ -245,26 +337,26 @@ def _waveform_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
             output_frequency=base.if_frequency))
         wave = runner.run(plan, modes=modes, designs=dict(corner_designs))
         powers = plan.powers()
-        for target in p1db_targets:
+        for need in p1db_needs:
             fitted = np.empty(len(labels))
             for index, label in enumerate(labels):
                 _, input_p1db, _ = compression_from_gains(
                     powers,
-                    wave.values("gain_db", design=label, mode=target.mode))
+                    wave.values("gain_db", design=label, mode=need.mode))
                 # A sweep that never compresses reads as an unbounded P1dB:
                 # it passes any minimum bound, which is the right verdict
                 # for "compression must not happen before X dBm".
                 fitted[index] = input_p1db
-            values[target.key] = fitted
+            values[need.key] = fitted
     return values
 
 
 def _digital_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
-                           targets: Sequence[SpecTarget],
-                           base: MixerDesign) -> dict[str, np.ndarray]:
-    """Score the digital-SNR targets over one corner design axis.
+                           needs: Sequence, base: MixerDesign
+                           ) -> dict[str, np.ndarray]:
+    """Score the digital-SNR metrics over one corner design axis.
 
-    Returns ``target.key -> per-design value array`` aligned with
+    Returns ``need.key -> per-design value array`` aligned with
     ``corner_designs`` order.  One fixed-point digital-IF bench — the
     canonical NCO/CIC plan at :data:`DIGITAL_SCORE_ADC_BITS` — evaluates
     the whole axis in a single
@@ -273,7 +365,7 @@ def _digital_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
     per cell, sharded by ``workers=`` and served from the digital measure
     cache on warm re-runs.
     """
-    modes = tuple(dict.fromkeys(t.mode for t in targets))
+    modes = tuple(dict.fromkeys(n.mode for n in needs))
     try:
         plan = digital_if_plan(
             rf_frequency=base.lo_frequency + base.if_frequency,
@@ -291,25 +383,88 @@ def _digital_corner_values(runner, corner_designs: Mapping[str, MixerDesign],
             f"[{error}]") from error
     result = runner.run(plan, modes=modes, designs=dict(corner_designs))
     return {
-        target.key: result.values("snr_db", mode=target.mode,
-                                  adc_bits=DIGITAL_SCORE_ADC_BITS)
-        for target in targets
+        need.key: result.values("snr_db", mode=need.mode,
+                                adc_bits=DIGITAL_SCORE_ADC_BITS)
+        for need in needs
     }
 
 
-def _perturb(center: MixerDesign, knobs: Sequence[str], span: float,
-             rng: np.random.Generator) -> MixerDesign:
-    """One candidate: every knob scaled log-normally around ``center``.
+class _CornerScorer:
+    """The measurement table: every needed metric over one corner axis.
 
-    Log-normal factors keep every knob strictly positive and make a +x%
-    pull as likely as a -x% one — the same convention the Monte-Carlo
-    spread model uses for its multiplicative parameters.
+    Owns the per-engine runners (analytic sweep, batched waveform,
+    fixed-point digital-IF) and, given one generation's corner designs,
+    returns ``key -> per-corner value array`` covering every
+    :class:`_MetricNeed` — each engine called exactly once per generation
+    and only when the needs demand it.
     """
-    changes = {
-        knob: getattr(center, knob) * float(np.exp(rng.normal(0.0, span)))
-        for knob in knobs
-    }
-    return replace(center, **changes)
+
+    def __init__(self, design: MixerDesign | None,
+                 needs: Sequence[_MetricNeed], *, workers: int | None,
+                 cache, shared_memory: bool) -> None:
+        self.needs = list(needs)
+        self.analytic = [n for n in self.needs
+                         if not (n.is_waveform or n.is_digital)]
+        self.waveform = [n for n in self.needs if n.is_waveform]
+        self.digital = [n for n in self.needs if n.is_digital]
+        self.specs = tuple(spec for spec in ALL_SPECS
+                           if any(n.spec == spec for n in self.analytic))
+        self.modes = tuple(mode for mode
+                           in (MixerMode.ACTIVE, MixerMode.PASSIVE)
+                           if any(n.mode is mode for n in self.analytic))
+        # Imported lazily: repro.experiments re-exports this module, so a
+        # module-level import of the experiments package would be circular
+        # when repro.optimize is imported first.
+        from repro.experiments.common import design_and_runner, resolve_design
+        if self.analytic:
+            self.base, self.runner = design_and_runner(
+                design, specs=self.specs, workers=workers, cache=cache,
+                shared_memory=shared_memory)
+        else:
+            self.base, self.runner = resolve_design(design), None
+        self.wave_runner = make_waveform_runner(
+            self.base, workers=workers, cache=cache) if self.waveform else None
+        self.digital_runner = make_digital_runner(
+            self.base, workers=workers, cache=cache) if self.digital else None
+
+    def values(self, corner_designs: Mapping[str, MixerDesign]
+               ) -> dict[str, np.ndarray]:
+        """Measure every need over ``corner_designs`` (one array per key)."""
+        table: dict[str, np.ndarray] = {}
+        if self.runner is not None:
+            sweep = self.runner.run(rf_frequencies=[self.base.rf_frequency],
+                                    if_frequencies=[self.base.if_frequency],
+                                    modes=self.modes, designs=corner_designs)
+            for need in self.analytic:
+                table[need.key] = sweep.values(need.spec, mode=need.mode)
+        if self.wave_runner is not None:
+            table.update(_waveform_corner_values(
+                self.wave_runner, corner_designs, self.waveform, self.base))
+        if self.digital_runner is not None:
+            table.update(_digital_corner_values(
+                self.digital_runner, corner_designs, self.digital, self.base))
+        return table
+
+
+def _corner_axis(candidates: Sequence[MixerDesign], iteration: int,
+                 seed: int, num_samples: int, spread: DeviceSpread
+                 ) -> dict[str, MixerDesign]:
+    """The whole population's Monte-Carlo corners as ONE design axis.
+
+    This is what makes the search affordable — and shardable across
+    processes: one labelled axis per generation, per-candidate corner rngs
+    seeded ``[seed, iteration, index, 1]``.
+    """
+    corner_designs: dict[str, MixerDesign] = {}
+    for index, candidate in enumerate(candidates):
+        rng = np.random.default_rng([seed, iteration, index, 1])
+        for sample in range(num_samples):
+            label = (_CANDIDATE_LABEL.format(iteration=iteration,
+                                             candidate=index)
+                     + f"-s{sample:03d}")
+            corner_designs[label] = sample_design(candidate, rng, spread,
+                                                  label)
+    return corner_designs
 
 
 def run_yield_opt(design: MixerDesign | None = None,
@@ -318,10 +473,12 @@ def run_yield_opt(design: MixerDesign | None = None,
                   population: int = 8, iterations: int = 3,
                   num_samples: int = 16, seed: int = DEFAULT_SEED,
                   search_span: float = 0.12, shrink: float = 0.5,
+                  strategy: str = "shrinking_span",
+                  objectives: Sequence | None = None,
                   workers: int | None = None,
                   cache: SpecCache | str | bool | None = None,
                   shared_memory: bool = False
-                  ) -> YieldOptResult:
+                  ) -> YieldOptResult | ParetoOptResult:
     """Search the design knobs for maximum yield against spec targets.
 
     Parameters
@@ -357,56 +514,46 @@ def run_yield_opt(design: MixerDesign | None = None,
         1-sigma log-space width of the knob perturbations at iteration 0.
     shrink:
         Factor applied to the span after each iteration (0 < shrink <= 1);
-        the search narrows around the incumbent as it converges.
+        the search narrows around the incumbent as it converges.  The CMA
+        strategy ignores it (its step size self-adapts).
+    strategy:
+        Proposal strategy, one of :data:`~repro.optimize.strategies.STRATEGIES`:
+        ``"shrinking_span"`` (the original pattern search, bit-identical to
+        the pre-strategy optimiser) or ``"cma"`` (covariance-adapted CMA-ES
+        proposals that learn the knob correlations each generation reveals).
+    objectives:
+        ``None`` runs the scalar search.  A list of
+        :class:`~repro.optimize.pareto.Objective` (or wire ``[metric, mode,
+        direction]`` arrays) switches to the multi-objective Pareto mode —
+        the call is forwarded to :func:`run_pareto_opt` and returns its
+        :class:`~repro.optimize.pareto.ParetoOptResult`.
     workers / cache / shared_memory:
         Sweep-engine options: process count for the sharded runner, the
         on-disk :class:`~repro.sweep.cache.SpecCache` of solved cells, and
         the opt-in shared-memory result hand-off of
         :class:`~repro.sweep.parallel.ParallelSweepRunner`.
     """
+    if objectives is not None:
+        return run_pareto_opt(design=design, targets=targets,
+                              objectives=objectives, knobs=knobs,
+                              population=population, iterations=iterations,
+                              num_samples=num_samples, seed=seed,
+                              search_span=search_span, shrink=shrink,
+                              strategy=strategy, workers=workers,
+                              cache=cache, shared_memory=shared_memory)
     target_list = list(parse_targets(targets))
     knob_list = _validate_knobs(knobs)
-    if population < 2:
-        raise ValueError("population must be at least 2 (the centre plus "
-                         "at least one perturbed candidate)")
-    if iterations < 1:
-        raise ValueError("need at least one iteration")
-    if num_samples < 2:
-        raise ValueError("need at least 2 Monte-Carlo samples per candidate")
-    if search_span <= 0:
-        raise ValueError("search_span must be positive")
-    if not 0 < shrink <= 1:
-        raise ValueError("shrink must be in (0, 1]")
+    _validate_loop(population, iterations, num_samples, search_span, shrink)
     seed = int(seed)
 
-    # Analytic targets score through the spec sweep engine, waveform
-    # targets through the batched waveform engine, digital targets through
-    # the fixed-point digital-IF engine; each engine only runs when the
-    # target list demands it, and each solves no more specs/modes than the
-    # score needs.
-    analytic_targets = [t for t in target_list
-                        if not (t.is_waveform or t.is_digital)]
-    waveform_targets = [t for t in target_list if t.is_waveform]
-    digital_targets = [t for t in target_list if t.is_digital]
-    specs = tuple(spec for spec in ALL_SPECS
-                  if any(t.spec == spec for t in analytic_targets))
-    modes = tuple(mode for mode in (MixerMode.ACTIVE, MixerMode.PASSIVE)
-                  if any(t.mode is mode for t in analytic_targets))
-    # Imported lazily: repro.experiments re-exports this module, so a
-    # module-level import of the experiments package would be circular when
-    # repro.optimize is imported first.
-    from repro.experiments.common import design_and_runner, resolve_design
-    if analytic_targets:
-        base, runner = design_and_runner(design, specs=specs, workers=workers,
-                                         cache=cache,
-                                         shared_memory=shared_memory)
-    else:
-        base, runner = resolve_design(design), None
-    wave_runner = make_waveform_runner(base, workers=workers, cache=cache) \
-        if waveform_targets else None
-    digital_runner = make_digital_runner(base, workers=workers, cache=cache) \
-        if digital_targets else None
+    scorer = _CornerScorer(design, _metric_needs(target_list),
+                           workers=workers, cache=cache,
+                           shared_memory=shared_memory)
+    base = scorer.base
     spread = DeviceSpread()
+    proposer = make_strategy(strategy, base, knob_list, seed=seed,
+                             population=population, search_span=search_span,
+                             shrink=shrink)
 
     best_design = base
     best_yield = -1.0
@@ -418,41 +565,11 @@ def run_yield_opt(design: MixerDesign | None = None,
     outcomes: list[CandidateOutcome] = []
     evaluations = 0
 
-    center = base
-    span = float(search_span)
     for iteration in range(iterations):
-        candidates: list[MixerDesign] = []
-        for index in range(population):
-            if iteration == 0 and index == 0:
-                candidates.append(center)  # score the incoming design as-is
-                continue
-            rng = np.random.default_rng([seed, iteration, index, 0])
-            candidates.append(_perturb(center, knob_list, span, rng))
-
-        # The whole population's corners as ONE design axis: this is what
-        # makes the search affordable — and shardable across processes.
-        corner_designs: dict[str, MixerDesign] = {}
-        for index, candidate in enumerate(candidates):
-            rng = np.random.default_rng([seed, iteration, index, 1])
-            for sample in range(num_samples):
-                label = (_CANDIDATE_LABEL.format(iteration=iteration,
-                                                 candidate=index)
-                         + f"-s{sample:03d}")
-                corner_designs[label] = sample_design(candidate, rng, spread,
-                                                      label)
-        sweep = None
-        if runner is not None:
-            sweep = runner.run(rf_frequencies=[base.rf_frequency],
-                               if_frequencies=[base.if_frequency],
-                               modes=modes, designs=corner_designs)
-        wave_values: dict[str, np.ndarray] = {}
-        if wave_runner is not None:
-            wave_values = _waveform_corner_values(wave_runner, corner_designs,
-                                                  waveform_targets, base)
-        digital_values: dict[str, np.ndarray] = {}
-        if digital_runner is not None:
-            digital_values = _digital_corner_values(
-                digital_runner, corner_designs, digital_targets, base)
+        candidates = proposer.propose(iteration)
+        corner_designs = _corner_axis(candidates, iteration, seed,
+                                      num_samples, spread)
+        values_by_key = scorer.values(corner_designs)
         evaluations += population * num_samples
 
         # Score: pass masks per target, AND-ed into the overall yield.
@@ -460,13 +577,7 @@ def run_yield_opt(design: MixerDesign | None = None,
         passing = np.ones(shape, dtype=bool)
         per_target: dict[str, np.ndarray] = {}
         for target in target_list:
-            if target.is_waveform:
-                values = wave_values[target.key]
-            elif target.is_digital:
-                values = digital_values[target.key]
-            else:
-                values = sweep.values(target.spec, mode=target.mode)
-            mask = target.passes(values.reshape(shape))
+            mask = target.passes(values_by_key[target.key].reshape(shape))
             per_target[target.key] = mask
             passing &= mask
         yields = passing.mean(axis=1)
@@ -501,11 +612,13 @@ def run_yield_opt(design: MixerDesign | None = None,
                         iterations=iterations, best_yield=float(best_yield),
                         best_label=best_label,
                         baseline_yield=float(baseline_yield),
-                        evaluations=evaluations,
+                        evaluations=evaluations, strategy=strategy,
                         history=[float(value) for value in history])
 
-        center = best_design
-        span *= shrink
+        # Fitness order, best first (stable: first index wins ties) — the
+        # strategies consume the ranking, not just the champion.
+        order = [int(i) for i in np.argsort(-yields, kind="stable")]
+        proposer.observe(iteration, candidates, order, best_design)
 
     return YieldOptResult(
         best_design=best_design,
@@ -524,6 +637,131 @@ def run_yield_opt(design: MixerDesign | None = None,
         seed=seed,
         evaluations=evaluations,
         candidates=outcomes,
+        strategy=strategy,
+    )
+
+
+def run_pareto_opt(design: MixerDesign | None = None,
+                   targets: Sequence | None = None,
+                   objectives: Sequence | None = None,
+                   knobs: Sequence[str] | None = None,
+                   population: int = 8, iterations: int = 3,
+                   num_samples: int = 16, seed: int = DEFAULT_SEED,
+                   search_span: float = 0.12, shrink: float = 0.5,
+                   strategy: str = "shrinking_span",
+                   workers: int | None = None,
+                   cache: SpecCache | str | bool | None = None,
+                   shared_memory: bool = False) -> ParetoOptResult:
+    """Multi-objective search: maintain a Pareto front over the objectives.
+
+    Same engine plumbing as :func:`run_yield_opt` — strategy-proposed
+    populations, every generation's Monte-Carlo corners as one sharded
+    design axis — but the answer is the running non-dominated
+    :class:`~repro.optimize.pareto.ParetoFront` over ``objectives``
+    (``None`` selects yield vs active power vs active gain,
+    :func:`~repro.optimize.pareto.default_objectives`).  Per-candidate
+    objective values are the Monte-Carlo yield against ``targets`` plus the
+    corner-mean of every spec objective, so each point carries both its
+    trade-off coordinates and its per-target yield breakdown.
+
+    Generation ranking feeds the proposal strategy through the NSGA-II
+    convention (:func:`~repro.optimize.pareto.pareto_order`: non-dominated
+    rank, then crowding distance); the running front is fingerprint-deduped
+    and deterministically ordered, so the result is bit-identical for any
+    worker count and on every serving surface.  Every generation appends a
+    JSON-ready front snapshot to ``front_history`` and streams the
+    cumulative history through :func:`repro.api.progress.report_progress`
+    (stage ``"pareto_opt"``), observable from ``GET /v1/jobs/<id>``.
+    """
+    target_list = list(parse_targets(targets))
+    objective_list = list(parse_objectives(objectives))
+    knob_list = _validate_knobs(knobs)
+    _validate_loop(population, iterations, num_samples, search_span, shrink)
+    seed = int(seed)
+
+    scorer = _CornerScorer(design, _metric_needs(target_list, objective_list),
+                           workers=workers, cache=cache,
+                           shared_memory=shared_memory)
+    base = scorer.base
+    spread = DeviceSpread()
+    proposer = make_strategy(strategy, base, knob_list, seed=seed,
+                             population=population, search_span=search_span,
+                             shrink=shrink)
+    signs = np.array([objective.sign for objective in objective_list])
+
+    front = ParetoFront(objectives=objective_list, points=[])
+    front_history: list[list[dict]] = []
+    baseline_point: ParetoPoint | None = None
+    evaluations = 0
+
+    for iteration in range(iterations):
+        candidates = proposer.propose(iteration)
+        corner_designs = _corner_axis(candidates, iteration, seed,
+                                      num_samples, spread)
+        values_by_key = scorer.values(corner_designs)
+        evaluations += population * num_samples
+
+        shape = (population, num_samples)
+        passing = np.ones(shape, dtype=bool)
+        per_target: dict[str, np.ndarray] = {}
+        for target in target_list:
+            mask = target.passes(values_by_key[target.key].reshape(shape))
+            per_target[target.key] = mask
+            passing &= mask
+        yields = passing.mean(axis=1)
+
+        # Objective matrix: yield straight from the pass masks, every spec
+        # objective as the candidate's corner mean (deterministic, like
+        # every other aggregate the engine reports).
+        matrix = np.empty((population, len(objective_list)))
+        for column, objective in enumerate(objective_list):
+            if objective.mode is None:
+                matrix[:, column] = yields
+            else:
+                matrix[:, column] = \
+                    values_by_key[objective.key].reshape(shape).mean(axis=1)
+
+        points = []
+        for index, candidate in enumerate(candidates):
+            points.append(ParetoPoint(
+                label=_CANDIDATE_LABEL.format(iteration=iteration,
+                                              candidate=index),
+                design=candidate,
+                objectives=matrix[index].copy(),
+                overall_yield=float(yields[index]),
+                spec_yields={key: float(mask[index].mean())
+                             for key, mask in per_target.items()},
+            ))
+        if iteration == 0:
+            baseline_point = points[0]
+
+        front = front.merged_with(points)
+        front_history.append(front.snapshot())
+
+        # Cumulative snapshot history: a poller always sees a prefix of the
+        # final front_history, like the scalar search's yield history.
+        report_progress(stage="pareto_opt", iteration=iteration + 1,
+                        iterations=iterations, strategy=strategy,
+                        front_size=front.size, evaluations=evaluations,
+                        front_history=list(front_history))
+
+        order = pareto_order(matrix * signs)
+        proposer.observe(iteration, candidates, order, candidates[order[0]])
+
+    return ParetoOptResult(
+        front=front,
+        objectives=objective_list,
+        targets=target_list,
+        knobs=list(knob_list),
+        strategy=strategy,
+        population=population,
+        iterations=iterations,
+        num_samples=num_samples,
+        seed=seed,
+        evaluations=evaluations,
+        initial_design=base,
+        baseline_point=baseline_point,
+        front_history=front_history,
     )
 
 
@@ -532,7 +770,7 @@ def format_report(result: YieldOptResult) -> str:
     lines = [
         f"Corner-aware yield optimisation — {result.population} candidates "
         f"x {result.iterations} iterations, {result.num_samples} corners "
-        f"each (seed {result.seed})"
+        f"each (seed {result.seed}, strategy {result.strategy})"
     ]
     width = max(len(target.describe()) for target in result.targets)
     for target in result.targets:
@@ -560,6 +798,22 @@ def _default_grid() -> Mapping[str, object]:
         "seed": DEFAULT_SEED,
         "search_span": 0.12,
         "shrink": 0.5,
+        "strategy": "shrinking_span",
+    }
+
+
+def _pareto_default_grid() -> Mapping[str, object]:
+    return {
+        "targets": default_targets_wire(),
+        "objectives": default_objectives_wire(),
+        "knobs": list(DEFAULT_KNOBS),
+        "population": 8,
+        "iterations": 3,
+        "num_samples": 16,
+        "seed": DEFAULT_SEED,
+        "search_span": 0.12,
+        "shrink": 0.5,
+        "strategy": "shrinking_span",
     }
 
 
@@ -574,3 +828,31 @@ register_experiment(
     default_grid=_default_grid(),
     payload_types=(CandidateOutcome, SpecTarget, MixerDesign, Technology),
 )
+
+register_experiment(
+    name=PARETO_EXPERIMENT_NAME,
+    artefact="Gain/power/yield trade-off under process spread — Pareto front",
+    summary="Maintain a non-dominated front over configurable objectives "
+            "(Monte-Carlo yield, power, gain, any targetable spec metric)",
+    runner=run_pareto_opt,
+    result_type=ParetoOptResult,
+    report=format_pareto_report,
+    default_grid=_pareto_default_grid(),
+    payload_types=(ParetoFront, ParetoPoint, Objective, SpecTarget,
+                   MixerDesign, Technology),
+)
+
+# Re-exported for callers that treated the strategy list as part of this
+# module's surface; the implementation lives in repro.optimize.strategies.
+__all__ = [
+    "CandidateOutcome",
+    "DEFAULT_KNOBS",
+    "EXPERIMENT_NAME",
+    "PARETO_EXPERIMENT_NAME",
+    "SEARCHABLE_KNOBS",
+    "STRATEGIES",
+    "YieldOptResult",
+    "format_report",
+    "run_pareto_opt",
+    "run_yield_opt",
+]

@@ -1,0 +1,228 @@
+"""Proposal strategies for the design-knob search.
+
+The optimiser's outer loop is fixed — propose a population, score every
+candidate's Monte-Carlo corners as one sweep-engine design axis, select —
+but *how* the next population is proposed is a strategy:
+
+* :class:`ShrinkingSpanStrategy` (``strategy="shrinking_span"``, the
+  default) reproduces the original pattern search draw-for-draw: every
+  knob of the incumbent is perturbed log-normally with a span that shrinks
+  each generation.  It is simple and robust but its proposal distribution
+  is isotropic — it cannot learn that, say, ``load_resistance`` and
+  ``tca_bias_current`` must move *together* to keep gain while shedding
+  power;
+* :class:`CmaStrategy` (``strategy="cma"``) is a covariance-matrix
+  adaptation evolution strategy (CMA-ES, rank-mu update with cumulative
+  step-size control) over the **log-knob space**: each generation's ranked
+  population updates a full covariance matrix, so the sampler learns the
+  correlation structure the Monte-Carlo-scored population reveals and
+  walks valley floors an isotropic sampler zig-zags across.
+
+Both strategies draw every random number from per-``(seed, generation,
+candidate)`` NumPy seed sequences and use only deterministic linear
+algebra, so a search is bit-identical for any worker count and on every
+serving surface — the same guarantee the rest of the engine makes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import MixerDesign
+
+#: Registered strategy names (the ``strategy=`` grid parameter).
+STRATEGIES = ("shrinking_span", "cma")
+
+#: Hard per-knob bound on how far (in log space) a CMA proposal may drift
+#: from the *initial* design: e**0.7 is roughly 2x / 0.5x.  The physical
+#: models solve reliably inside that envelope; an unbounded covariance
+#: blow-up would otherwise walk a knob into "target gm unreachable".
+MAX_LOG_OFFSET = 0.7
+
+
+def perturb_design(center: MixerDesign, knobs: Sequence[str], span: float,
+                   rng: np.random.Generator) -> MixerDesign:
+    """One candidate: every knob scaled log-normally around ``center``.
+
+    Log-normal factors keep every knob strictly positive and make a +x%
+    pull as likely as a -x% one — the same convention the Monte-Carlo
+    spread model uses for its multiplicative parameters.
+    """
+    changes = {
+        knob: getattr(center, knob) * float(np.exp(rng.normal(0.0, span)))
+        for knob in knobs
+    }
+    return replace(center, **changes)
+
+
+class ShrinkingSpanStrategy:
+    """The original seeded pattern search, as a pluggable strategy.
+
+    ``propose`` reproduces the historical candidate stream exactly: one
+    ``default_rng([seed, generation, index, 0])`` per candidate, one
+    log-normal factor per knob in knob order.  ``observe`` re-centres on
+    the caller's incumbent and shrinks the span.
+    """
+
+    def __init__(self, base: MixerDesign, knobs: Sequence[str], *,
+                 seed: int, population: int, search_span: float,
+                 shrink: float) -> None:
+        self.center = base
+        self.knobs = tuple(knobs)
+        self.seed = int(seed)
+        self.population = int(population)
+        self.span = float(search_span)
+        self.shrink = float(shrink)
+
+    def propose(self, generation: int) -> list[MixerDesign]:
+        candidates: list[MixerDesign] = []
+        for index in range(self.population):
+            if generation == 0 and index == 0:
+                candidates.append(self.center)  # score the incoming design
+                continue
+            rng = np.random.default_rng([self.seed, generation, index, 0])
+            candidates.append(perturb_design(self.center, self.knobs,
+                                             self.span, rng))
+        return candidates
+
+    def observe(self, generation: int, candidates: Sequence[MixerDesign],
+                order: Sequence[int], incumbent: MixerDesign) -> None:
+        del generation, candidates, order
+        self.center = incumbent
+        self.span *= self.shrink
+
+
+class CmaStrategy:
+    """Covariance-adapted proposals (CMA-ES) over the log-knob space.
+
+    A compact but faithful CMA-ES: rank-mu weighted recombination,
+    cumulative step-size adaptation (CSA) and the rank-one + rank-mu
+    covariance update, with the standard parameterisation for population
+    size ``population``.  The strategy ignores the caller's incumbent — the
+    distribution mean *is* the search state — and ``shrink`` plays no role
+    (sigma adapts itself).
+    """
+
+    def __init__(self, base: MixerDesign, knobs: Sequence[str], *,
+                 seed: int, population: int, search_span: float,
+                 shrink: float) -> None:
+        del shrink  # sigma is self-adapting
+        self.base = base
+        self.knobs = tuple(knobs)
+        self.seed = int(seed)
+        self.population = int(population)
+        n = len(self.knobs)
+        self.n = n
+        self.x0 = np.log(np.array([getattr(base, knob)
+                                   for knob in self.knobs]))
+        self.mean = self.x0.copy()
+        self.sigma = float(search_span)
+        self.cov = np.eye(n)
+        self.path_sigma = np.zeros(n)
+        self.path_cov = np.zeros(n)
+        # Standard CMA-ES constants (Hansen's tutorial parameterisation).
+        mu = self.population // 2
+        weights = np.log(mu + 0.5) - np.log(np.arange(1, mu + 1))
+        self.weights = weights / weights.sum()
+        self.mu = mu
+        self.mueff = 1.0 / float(np.sum(self.weights ** 2))
+        self.c_sigma = (self.mueff + 2.0) / (n + self.mueff + 5.0)
+        self.d_sigma = (1.0 + 2.0 * max(0.0, math.sqrt((self.mueff - 1.0)
+                                                       / (n + 1.0)) - 1.0)
+                        + self.c_sigma)
+        self.c_c = (4.0 + self.mueff / n) / (n + 4.0 + 2.0 * self.mueff / n)
+        self.c_1 = 2.0 / ((n + 1.3) ** 2 + self.mueff)
+        self.c_mu = min(1.0 - self.c_1,
+                        2.0 * (self.mueff - 2.0 + 1.0 / self.mueff)
+                        / ((n + 2.0) ** 2 + self.mueff))
+        self.chi_n = math.sqrt(n) * (1.0 - 1.0 / (4.0 * n)
+                                     + 1.0 / (21.0 * n * n))
+        self._steps: np.ndarray | None = None   # y_i rows of the generation
+
+    def _decompose(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eigendecomposition of the (symmetrised) covariance, floored."""
+        cov = (self.cov + self.cov.T) / 2.0
+        eigenvalues, basis = np.linalg.eigh(cov)
+        scales = np.sqrt(np.maximum(eigenvalues, 1e-20))
+        return basis, scales
+
+    def propose(self, generation: int) -> list[MixerDesign]:
+        basis, scales = self._decompose()
+        steps = np.zeros((self.population, self.n))
+        candidates: list[MixerDesign] = []
+        for index in range(self.population):
+            if generation == 0 and index == 0:
+                candidates.append(self.base)    # baseline: x = mean = x0
+                continue
+            rng = np.random.default_rng([self.seed, generation, index, 0])
+            z = rng.standard_normal(self.n)
+            x = self.mean + self.sigma * (basis @ (scales * z))
+            # Keep proposals inside the physically solvable envelope; the
+            # step used for the update is the *clipped* one so the learned
+            # distribution stays consistent with what was scored.
+            x = np.clip(x, self.x0 - MAX_LOG_OFFSET, self.x0 + MAX_LOG_OFFSET)
+            steps[index] = (x - self.mean) / self.sigma
+            candidates.append(replace(self.base, **{
+                knob: float(np.exp(x[k]))
+                for k, knob in enumerate(self.knobs)}))
+        self._steps = steps
+        return candidates
+
+    def observe(self, generation: int, candidates: Sequence[MixerDesign],
+                order: Sequence[int], incumbent: MixerDesign) -> None:
+        del candidates, incumbent
+        assert self._steps is not None, "observe() before propose()"
+        selected = self._steps[list(order[:self.mu])]
+        step_w = self.weights @ selected
+        basis, scales = self._decompose()
+        inv_sqrt = basis @ np.diag(1.0 / scales) @ basis.T
+
+        self.path_sigma = ((1.0 - self.c_sigma) * self.path_sigma
+                           + math.sqrt(self.c_sigma * (2.0 - self.c_sigma)
+                                       * self.mueff) * (inv_sqrt @ step_w))
+        norm = float(np.linalg.norm(self.path_sigma))
+        decay = math.sqrt(1.0 - (1.0 - self.c_sigma)
+                          ** (2.0 * (generation + 1)))
+        h_sigma = 1.0 if norm / decay < (1.4 + 2.0 / (self.n + 1.0)) \
+            * self.chi_n else 0.0
+        self.path_cov = ((1.0 - self.c_c) * self.path_cov
+                         + h_sigma * math.sqrt(self.c_c * (2.0 - self.c_c)
+                                               * self.mueff) * step_w)
+        rank_mu = sum(weight * np.outer(step, step)
+                      for weight, step in zip(self.weights, selected))
+        self.cov = ((1.0 - self.c_1 - self.c_mu) * self.cov
+                    + self.c_1 * (np.outer(self.path_cov, self.path_cov)
+                                  + (1.0 - h_sigma) * self.c_c
+                                  * (2.0 - self.c_c) * self.cov)
+                    + self.c_mu * rank_mu)
+        self.mean = self.mean + self.sigma * step_w
+        self.mean = np.clip(self.mean, self.x0 - MAX_LOG_OFFSET,
+                            self.x0 + MAX_LOG_OFFSET)
+        self.sigma = self.sigma * math.exp(
+            (self.c_sigma / self.d_sigma) * (norm / self.chi_n - 1.0))
+        self.sigma = float(np.clip(self.sigma, 1e-4, 1.0))
+        self._steps = None
+
+
+#: Strategy name -> constructor; both share one signature.
+_STRATEGY_TYPES = {
+    "shrinking_span": ShrinkingSpanStrategy,
+    "cma": CmaStrategy,
+}
+
+
+def make_strategy(name: str, base: MixerDesign, knobs: Sequence[str], *,
+                  seed: int, population: int, search_span: float,
+                  shrink: float):
+    """Build the named proposal strategy (``ValueError`` on unknown names)."""
+    try:
+        cls = _STRATEGY_TYPES[name]
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; "
+                         f"choose from {STRATEGIES}") from None
+    return cls(base, knobs, seed=seed, population=population,
+               search_span=search_span, shrink=shrink)

@@ -37,7 +37,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.api.request import RequestValidationError
+from repro.api.request import API_VERSION, ApiVersionError, RequestValidationError
 from repro.api.service import MixerService
 from repro.serve.jobs import (
     DEFAULT_JOB_WORKERS,
@@ -92,7 +92,7 @@ class SpecHTTPServer(ThreadingHTTPServer):
 class SpecRequestHandler(BaseHTTPRequestHandler):
     """Routes the endpoints onto the server's shared :class:`JobManager`."""
 
-    server_version = "repro-serve/2"
+    server_version = "repro-serve/3"
     server: SpecHTTPServer
 
     # -- plumbing -------------------------------------------------------------
@@ -120,10 +120,13 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         return status
 
-    def _send_error_json(self, status: int, message: str) -> int:
+    def _send_error_json(self, status: int, message: str,
+                         extra: dict[str, Any] | None = None) -> int:
         headers = {"Retry-After": "1"} if status == 429 else None
-        return self._send_json(status, {"error": message},
-                               extra_headers=headers)
+        body: dict[str, Any] = {"error": message}
+        if extra:
+            body.update(extra)
+        return self._send_json(status, body, extra_headers=headers)
 
     def _read_json_body(self) -> Any:
         raw_length = self.headers.get("Content-Length")
@@ -170,6 +173,14 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
                 status = self._route_get()
             else:
                 status = self._route_post()
+        except ApiVersionError as error:
+            # Structured body: a version-skewed client needs to know which
+            # side is behind, not just that the request was bad.
+            status = self._fail(400, str(error), extra={
+                "error_kind": "api_version_mismatch",
+                "client_api_version": error.client_version,
+                "server_api_version": error.server_version,
+            })
         except RequestValidationError as error:
             status = self._fail(400, str(error))
         except JobQueueFullError as error:
@@ -180,7 +191,8 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
             self.server.metrics.observe(self._endpoint_label(), status,
                                         time.perf_counter() - started)
 
-    def _fail(self, status: int, message: str) -> int:
+    def _fail(self, status: int, message: str,
+              extra: dict[str, Any] | None = None) -> int:
         """Send an error response — unless one response already started.
 
         If the failure happened mid-write (client disconnect, an
@@ -195,7 +207,7 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
                            "instead of double-responding: %s", message)
             return status
         try:
-            return self._send_error_json(status, message)
+            return self._send_error_json(status, message, extra=extra)
         except OSError:
             # The client is gone; nothing left to answer.
             self.close_connection = True
@@ -209,7 +221,8 @@ class SpecRequestHandler(BaseHTTPRequestHandler):
             return self._send_json(200, {"status": "ok"})
         if path == "/v1/experiments":
             return self._send_json(
-                200, {"experiments": self.server.service.experiments()})
+                200, {"api_version": API_VERSION,
+                      "experiments": self.server.service.experiments()})
         if path == "/v1/metrics":
             return self._send_json(200, self._metrics_payload())
         if path == "/v1/jobs":

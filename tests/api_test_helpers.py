@@ -46,6 +46,12 @@ SMALL_GRIDS: dict[str, dict] = {
         "num_samples": 4,
         "targets": ACTIVE_TARGETS,
     },
+    "yield_pareto": {
+        "population": 3,
+        "iterations": 2,
+        "num_samples": 4,
+        "targets": ACTIVE_TARGETS,
+    },
 }
 
 EXPERIMENT_NAMES = sorted(SMALL_GRIDS)

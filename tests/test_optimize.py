@@ -18,7 +18,7 @@ import urllib.request
 import numpy as np
 import pytest
 
-from repro.api import MixerService, decode, encode
+from repro.api import MixerService, SpecRequest, decode, encode
 from repro.cli import main as cli_main
 from repro.core.config import MixerDesign, MixerMode
 from repro.optimize import (
@@ -194,16 +194,19 @@ class TestSurfaces:
         server.server_close()
         thread.join(timeout=5)
 
-    def test_yield_request_matches_bare_spec_request(self, registry):
-        typed = YieldRequest(**{k: v for k, v in TINY.items()}).to_spec_request()
-        from repro.api import SpecRequest
+    def test_deprecated_yield_request_shim_is_wire_identical(self, registry):
+        # The retired side-door must keep converting old callers exactly:
+        # same wire dict, same request key, same response-cache entry.
+        with pytest.warns(DeprecationWarning, match="YieldRequest"):
+            typed = YieldRequest(**TINY).to_spec_request()
         bare = SpecRequest(experiment="yield_opt", grid=dict(TINY))
         spec = registry.get("yield_opt")
+        assert typed.to_dict() == bare.to_dict()
         assert typed.request_key(spec) == bare.request_key(spec)
 
     def test_http_returns_the_same_best_fingerprint(self, base_url,
                                                     tiny_result):
-        request = YieldRequest(**TINY).to_spec_request()
+        request = SpecRequest(experiment="yield_opt", grid=dict(TINY))
         body = json.dumps(request.to_dict()).encode("utf-8")
         http_request = urllib.request.Request(
             base_url + "/v1/spec", data=body,
@@ -229,7 +232,8 @@ class TestSurfaces:
         payload = json.loads(capsys.readouterr().out)
         assert payload["result"] == encode(tiny_result)
         service = MixerService(response_cache=False)
-        response = service.submit(YieldRequest(**TINY).to_spec_request())
+        response = service.submit(SpecRequest(experiment="yield_opt",
+                                              grid=dict(TINY)))
         assert payload["result"] == response.result_payload
         assert response.result.best_fingerprint() == \
             tiny_result.best_fingerprint()

@@ -105,9 +105,37 @@ class TestEndpoints:
         assert get_json(base_url + "/v1/health") == {"status": "ok"}
 
     def test_experiments_listing(self, base_url):
+        from repro.api import API_VERSION
         payload = get_json(base_url + "/v1/experiments")
+        assert payload["api_version"] == API_VERSION
         names = sorted(entry["name"] for entry in payload["experiments"])
         assert names == EXPERIMENT_NAMES
+        by_name = {entry["name"]: entry for entry in payload["experiments"]}
+        # The listing carries enough metadata that a client need not
+        # hard-code experiment shapes: result schema + full default grid.
+        pareto = by_name["yield_pareto"]
+        assert pareto["result_schema"] == "ParetoOptResult"
+        assert "objectives" in pareto["default_grid"]
+        assert "strategy" in pareto["default_grid"]
+
+    def test_api_version_mismatch_is_structured_400(self, base_url):
+        from repro.api import API_VERSION
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_json(base_url + "/v1/spec",
+                      {"api_version": 2, "experiment": "power_budget"})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error_kind"] == "api_version_mismatch"
+        assert body["client_api_version"] == 2
+        assert body["server_api_version"] == API_VERSION
+        assert "api_version mismatch" in body["error"]
+
+    def test_missing_api_version_is_accepted(self, base_url):
+        # Hand-written payloads without the field keep working (read as
+        # current); only an explicit mismatch is refused.
+        payload = post_json(base_url + "/v1/spec",
+                            {"experiment": "power_budget"})
+        assert payload["experiment"] == "power_budget"
 
     def test_unknown_path_is_404(self, base_url):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
@@ -418,6 +446,42 @@ class TestJobsHttp:
         assert last["history"] == final_history
         assert last["best_yield"] == final["best_yield"]
 
+    def test_yield_pareto_job_streams_front_snapshots(self, base_url):
+        from api_test_helpers import ACTIVE_TARGETS
+        grid = {"population": 2, "iterations": 3, "num_samples": 2,
+                "targets": ACTIVE_TARGETS}
+        submitted = post_json(base_url + "/v1/jobs", {
+            "request": {"experiment": "yield_pareto", "grid": grid}})["job"]
+        frames: list[dict] = []
+        job = submitted
+        deadline = time.monotonic() + 120
+        while job["state"] in ("queued", "running"):
+            assert time.monotonic() < deadline, \
+                "yield_pareto job never finished"
+            job = poll_job(base_url, submitted["id"])
+            if job["progress"].get("stage") == "pareto_opt":
+                frames.append(dict(job["progress"], state=job["state"]))
+            time.sleep(0.002)
+        assert job["state"] == "done"
+        final = job["result"]["result"]["fields"]
+        # front_history is JSON-ready on both sides (snapshots are built
+        # strict-JSON), so progress frames compare directly to the result.
+        final_history = final["front_history"]
+        assert len(final_history) == grid["iterations"]
+        partial = [frame for frame in frames
+                   if frame["state"] == "running"
+                   and frame["iteration"] < grid["iterations"]]
+        assert partial, "no intermediate pareto_opt progress observed"
+        for frame in partial:
+            # A poller always sees a prefix of the final snapshot history.
+            assert frame["front_history"] == \
+                final_history[:frame["iteration"]]
+            assert frame["front_size"] == len(frame["front_history"][-1])
+        last = frames[-1]
+        assert last["iteration"] == grid["iterations"]
+        assert last["front_history"] == final_history
+        assert last["strategy"] == "shrinking_span"
+
 
 class TestMetricsEndpoint:
     def test_snapshot_shape_and_counters(self, base_url):
@@ -471,7 +535,7 @@ class TestDoubleResponseGuard:
             _headers_sent = False
             close_connection = False
 
-            def _send_error_json(self, status, message):
+            def _send_error_json(self, status, message, extra=None):
                 sent.append((status, message))
                 return status
 

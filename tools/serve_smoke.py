@@ -24,6 +24,9 @@ request shapes:
 * ``POST /v1/spec`` with a small ``yield_opt`` search vs a direct
   :func:`repro.optimize.run_yield_opt` call — the corner-aware optimiser
   must be servable bit-identically like every other experiment;
+* ``POST /v1/spec`` with a small ``yield_pareto`` search vs a direct
+  :func:`repro.optimize.run_pareto_opt` call — the multi-objective front
+  (fingerprints, objective vectors, order) must serve bit-identically;
 * ``POST /v1/jobs`` submit -> ``GET /v1/jobs/<id>`` poll -> result with a
   second ``yield_opt`` search — the async surface must report progress
   while running and finish with the same bit-identical payload;
@@ -283,6 +286,31 @@ def check_yield_opt(base_url: str) -> int:
     return 0
 
 
+def check_yield_pareto(base_url: str) -> int:
+    from repro.api import SpecRequest, encode
+    from repro.core.config import MixerMode
+    from repro.optimize import default_targets, run_pareto_opt
+
+    grid = dict(YIELD_GRID)
+    grid["targets"] = [target.to_wire() for target in default_targets()
+                       if target.mode is MixerMode.ACTIVE]
+    request = SpecRequest(experiment="yield_pareto", grid=grid)
+    served = post_json(base_url + "/v1/spec", request.to_dict())
+    expected = run_pareto_opt(**grid)
+    if served["result"] != encode(expected):
+        print("FAIL: served yield_pareto payload differs from "
+              "run_pareto_opt()", file=sys.stderr)
+        return 1
+    if served["result_schema"] != "ParetoOptResult":
+        print(f"FAIL: unexpected result_schema "
+              f"{served['result_schema']!r}", file=sys.stderr)
+        return 1
+    print("serve smoke OK: yield_pareto search over HTTP is bit-identical "
+          f"to run_pareto_opt() [front size {expected.front.size}, "
+          f"{len(expected.objectives)} objectives]")
+    return 0
+
+
 def check_jobs_async(base_url: str) -> int:
     """Submit -> poll -> result through the async job surface."""
     from repro.api import SpecRequest, encode
@@ -383,6 +411,7 @@ def main() -> int:
         status = status or check_waveform_batch(base_url)
         status = status or check_digital_if(base_url)
         status = status or check_yield_opt(base_url)
+        status = status or check_yield_pareto(base_url)
         status = status or check_jobs_async(base_url)
         status = status or check_metrics(base_url)
         return status
