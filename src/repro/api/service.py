@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import time
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.api.registry import (
@@ -35,6 +36,40 @@ from repro.api.request import (
     build_result_response,
 )
 from repro.api.response_cache import DEFAULT_LRU_SIZE, ResponseCache
+
+
+@dataclass(frozen=True)
+class RequestPlan:
+    """One validated request's dispatch identity.
+
+    Everything a scheduler needs to decide what a request *is* without
+    executing it: the registry entry, the resolved grid (defaults merged
+    with overrides — exactly what the runner will be called with), the
+    response-cache ``key``, and the coalescing ``token`` two requests must
+    share to be mergeable into one engine group (``None`` when the
+    experiment has no ``batch_runner``, i.e. can never join a group).
+    """
+
+    spec: ExperimentSpec
+    resolved: dict[str, Any]
+    key: str
+    token: tuple | None
+
+
+@dataclass
+class PlannedGroup:
+    """One same-(experiment, grid, options) group of uncached requests.
+
+    ``members`` holds ``(index, request, key)`` in submission order, where
+    ``index`` is the request's position in the original batch and ``key``
+    its response-cache key.  ``resolved`` is the grid shared by every
+    member (validated once, at planning time — :meth:`execute_group` never
+    re-validates).
+    """
+
+    spec: ExperimentSpec
+    resolved: dict[str, Any]
+    members: list[tuple[int, SpecRequest, str]] = field(default_factory=list)
 
 
 class MixerService:
@@ -145,6 +180,83 @@ class MixerService:
         self._store(response)
         return response
 
+    def _group_token(self, request: SpecRequest,
+                     resolved: dict[str, Any]) -> tuple:
+        """Coalescing identity: requests with equal tokens may merge.
+
+        The execution options are part of the token so a member's explicit
+        ``workers=``/``cache=`` is honoured, never silently dropped in
+        favour of another member's.
+        """
+        cache_token = request.cache \
+            if isinstance(request.cache, (bool, str, type(None))) \
+            else id(request.cache)
+        return (request.experiment, json.dumps(resolved, sort_keys=True),
+                request.workers, cache_token)
+
+    def plan_request(self, request: SpecRequest) -> RequestPlan:
+        """Validate one request and derive its dispatch identity.
+
+        This is the read-only half of :meth:`submit`: registry lookup, grid
+        validation, cache key and group token, with no engine work and no
+        cache reads — what a scheduler (the job layer's coalescer) calls to
+        decide whether two pending requests can share one engine run.
+        Raises :class:`RequestValidationError` exactly as :meth:`submit`
+        would.
+        """
+        spec = self._spec_for(request.experiment)
+        resolved = request.validate(spec)
+        key = request.request_key(spec, resolved_grid=resolved)
+        token = self._group_token(request, resolved) \
+            if spec.batch_runner is not None else None
+        return RequestPlan(spec=spec, resolved=resolved, key=key, token=token)
+
+    def plan_groups(self, requests: Sequence[SpecRequest],
+                    ) -> tuple[list[SpecResponse | None], list[PlannedGroup]]:
+        """Split a batch into cached responses and executable groups.
+
+        Returns ``(responses, groups)``: ``responses`` is positionally
+        aligned with ``requests``, already holding every cache hit (the
+        rest ``None``); ``groups`` holds one :class:`PlannedGroup` per
+        distinct ``(experiment, resolved grid, options)`` token covering
+        every miss.  :meth:`execute_group` fills the holes.
+        """
+        responses: list[SpecResponse | None] = [None] * len(requests)
+        groups: dict[tuple, PlannedGroup] = {}
+        for index, request in enumerate(requests):
+            plan = self.plan_request(request)
+            cached = self._cached_response(plan.key)
+            if cached is not None:
+                responses[index] = cached
+                continue
+            token = plan.token if plan.token is not None \
+                else self._group_token(request, plan.resolved)
+            group = groups.get(token)
+            if group is None:
+                group = groups[token] = PlannedGroup(spec=plan.spec,
+                                                     resolved=plan.resolved)
+            group.members.append((index, request, plan.key))
+        return responses, list(groups.values())
+
+    def execute_group(self, group: PlannedGroup,
+                      workers: int | None = None,
+                      ) -> list[tuple[int, SpecResponse]]:
+        """Answer one planned group, as one engine call where possible.
+
+        When the experiment registers a ``batch_runner`` and the group
+        spans at least two distinct designs, the whole group runs as one
+        design axis; otherwise members fall back to individual
+        :meth:`submit` calls (which still collapse repeats through the
+        response cache).  Either way each member's response is
+        bit-identical to a solo :meth:`submit`.
+        """
+        distinct = {request.design.fingerprint()
+                    for _, request, _ in group.members}
+        if group.spec.batch_runner is None or len(distinct) < 2:
+            return [(index, self.submit(request))
+                    for index, request, _ in group.members]
+        return self._run_group(group, workers)
+
     def submit_batch(self, requests: Sequence[SpecRequest] | Iterable[SpecRequest],
                      workers: int | None = None) -> list[SpecResponse]:
         """Answer many requests, fanning shared-grid groups over the engine.
@@ -160,36 +272,9 @@ class MixerService:
         batch can mix freely.  Response order matches request order.
         """
         batch = list(requests)
-        responses: list[SpecResponse | None] = [None] * len(batch)
-        # (experiment, grid-json, workers, cache) -> [(index, request, key)];
-        # the execution options are part of the group token so a member's
-        # explicit workers=/cache= is honoured, never silently dropped in
-        # favour of another member's.
-        groups: dict[tuple, list[tuple[int, SpecRequest, str]]] = {}
-        for index, request in enumerate(batch):
-            spec = self._spec_for(request.experiment)
-            resolved = request.validate(spec)
-            key = request.request_key(spec, resolved_grid=resolved)
-            cached = self._cached_response(key)
-            if cached is not None:
-                responses[index] = cached
-                continue
-            cache_token = request.cache \
-                if isinstance(request.cache, (bool, str, type(None))) \
-                else id(request.cache)
-            token = (request.experiment, json.dumps(resolved, sort_keys=True),
-                     request.workers, cache_token)
-            groups.setdefault(token, []).append((index, request, key))
-
-        for token, members in groups.items():
-            spec = self.registry.get(token[0])
-            distinct = {request.design.fingerprint()
-                        for _, request, _ in members}
-            if spec.batch_runner is None or len(distinct) < 2:
-                for index, request, _ in members:
-                    responses[index] = self.submit(request)
-                continue
-            for index, response in self._run_group(spec, members, workers):
+        responses, groups = self.plan_groups(batch)
+        for group in groups:
+            for index, response in self.execute_group(group, workers=workers):
                 responses[index] = response
         # Every request must have produced a response at its own index: a
         # missing member silently shortening the list would misalign the
@@ -205,30 +290,31 @@ class MixerService:
         assert len(responses) == len(batch)
         return list(responses)
 
-    def _run_group(self, spec: ExperimentSpec,
-                   members: list[tuple[int, SpecRequest, str]],
+    def _run_group(self, group: PlannedGroup,
                    workers: int | None) -> list[tuple[int, SpecResponse]]:
         """One batch_runner call for a same-(experiment, grid, options) group.
 
-        Members share their execution options by construction (options are
-        part of the group token), so the lead request speaks for the group;
-        the batch-level ``workers`` argument, when given, overrides.
+        Members share their execution options and resolved grid by
+        construction (both derive from the group token at planning time, so
+        nothing is re-validated here); the lead request speaks for the
+        group's options, and the batch-level ``workers`` argument, when
+        given, overrides.
         """
-        lead = members[0][1]
-        resolved = lead.validate(spec)
+        spec = group.spec
+        lead = group.members[0][1]
         options = self._run_options(lead, spec)
         group_workers = workers if workers is not None \
             else options.get("workers")
         if group_workers is not None:
             options["workers"] = group_workers
         designs = {}
-        for _, request, _ in members:
+        for _, request, _ in group.members:
             designs.setdefault(request.design.fingerprint(), request.design)
         started = time.perf_counter()
-        results = spec.batch_runner(designs, **resolved, **options)
+        results = spec.batch_runner(designs, **group.resolved, **options)
         elapsed = time.perf_counter() - started
         out: list[tuple[int, SpecResponse]] = []
-        for index, request, key in members:
+        for index, request, key in group.members:
             fingerprint = request.design.fingerprint()
             result = results.get(fingerprint) \
                 if hasattr(results, "get") else results[fingerprint]

@@ -164,7 +164,34 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
     payload = _http_json(args.url.rstrip("/") + "/v1/metrics")
-    print(json.dumps(payload, indent=2, sort_keys=True))
+    if not args.summary:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    jobs = payload.get("jobs", {})
+    coalesce = jobs.get("coalesce", {})
+    requests = payload.get("requests", {})
+    total = sum(stats.get("count", 0) for stats in requests.values())
+    errors = sum(stats.get("errors", 0) for stats in requests.values())
+    lines = [
+        f"uptime_s           {payload.get('uptime_s', 0.0):.1f}",
+        f"requests           {total} ({errors} errors)",
+        f"load_shed_total    {payload.get('load_shed_total', 0)}",
+        f"jobs submitted     {jobs.get('submitted', 0)}",
+        f"jobs completed     {jobs.get('completed', 0)}",
+        f"jobs failed        {jobs.get('failed', 0)}",
+        f"coalesce enabled   {coalesce.get('enabled', False)} "
+        f"(window {coalesce.get('window_ms', 0):g} ms, "
+        f"cap {coalesce.get('max_coalesce', 0)})",
+        f"coalesced batches  {coalesce.get('coalesced_batches', 0)} "
+        f"({coalesce.get('coalesced_jobs', 0)} jobs merged)",
+        f"singleflight hits  {coalesce.get('singleflight_hits', 0)}",
+    ]
+    cache = payload.get("response_cache")
+    if cache is not None:
+        hits = cache.get("memory_hits", 0) + cache.get("disk_hits", 0)
+        lines.append(f"response cache     {hits} hits / "
+                     f"{cache.get('misses', 0)} misses")
+    print("\n".join(lines))
     return 0
 
 
@@ -237,6 +264,10 @@ def main(argv: list[str] | None = None) -> int:
         "metrics", help="print a running server's /v1/metrics snapshot")
     metrics_parser.add_argument("--url", required=True,
                                 help="base URL of a repro.serve instance")
+    metrics_parser.add_argument("--summary", action="store_true",
+                                help="compact counters (requests, jobs, "
+                                     "coalescing, singleflight) instead of "
+                                     "the full JSON snapshot")
     metrics_parser.set_defaults(handler=_cmd_metrics)
 
     args = parser.parse_args(argv)

@@ -510,8 +510,17 @@ solve_widths` steps one width bisection for the whole design axis through
             id_ = np.where(cutoff, 0.0, np.where(saturated, id_sat, id_tri))
             if current_only:
                 return (id_,)
-            gm_sat = beta * vov * (1.0 + 0.5 * theta * vov) \
-                / (degradation * degradation)
+            # The scalar model writes ``degradation ** 2``, which CPython
+            # routes through libm pow() — occasionally 1 ulp away from the
+            # x*x that numpy lowers ``arr ** 2`` to.  Square per element
+            # through math.pow to honour the bit-identity contract; gm is
+            # only evaluated on full operating-point calls, never inside
+            # the current-only bisection loop, so the Python loop is cold.
+            deg_sq = np.fromiter(
+                (math.pow(v, 2.0) for v in degradation.flat),
+                dtype=float, count=degradation.size,
+            ).reshape(degradation.shape)
+            gm_sat = beta * vov * (1.0 + 0.5 * theta * vov) / deg_sq
             gm_sat = gm_sat * clm
             gds_sat = 0.5 * beta_eff * vov * vov * lam
             gm_tri = beta_eff * nvds * clm

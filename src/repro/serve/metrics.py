@@ -24,46 +24,72 @@ import time
 #: searches.  The implicit +Inf bucket catches anything slower.
 LATENCY_BUCKETS_S = (0.001, 0.005, 0.025, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0)
 
+#: Bucket bounds for coalesced-batch sizes (jobs answered per engine run).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+class BucketHistogram:
+    """Cumulative bucket counts in the Prometheus ``le`` convention.
+
+    ``le_dict()[str(bound)]`` counts observations at or under ``bound``;
+    the implicit ``+Inf`` bucket equals ``count``.  Not self-locking: every
+    holder (:class:`ServerMetrics`, the job manager) already serialises its
+    observations under its own lock, so a second lock here would only add
+    contention.
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+
+    def le_dict(self) -> dict[str, int]:
+        histogram = {f"{bound:g}": count
+                     for bound, count in zip(self.bounds, self.buckets)}
+        histogram["+Inf"] = self.count
+        return histogram
+
 
 class _EndpointStats:
     """Per-endpoint counters: one latency histogram plus status classes."""
 
-    __slots__ = ("count", "errors", "total_s", "max_s", "buckets",
-                 "by_status")
+    __slots__ = ("errors", "max_s", "latency", "by_status")
 
     def __init__(self) -> None:
-        self.count = 0
         self.errors = 0
-        self.total_s = 0.0
         self.max_s = 0.0
-        self.buckets = [0] * len(LATENCY_BUCKETS_S)
+        self.latency = BucketHistogram(LATENCY_BUCKETS_S)
         self.by_status: dict[int, int] = {}
 
     def observe(self, status: int, elapsed_s: float) -> None:
-        self.count += 1
         if status >= 400:
             self.errors += 1
         self.by_status[status] = self.by_status.get(status, 0) + 1
-        self.total_s += elapsed_s
         if elapsed_s > self.max_s:
             self.max_s = elapsed_s
-        for index, bound in enumerate(LATENCY_BUCKETS_S):
-            if elapsed_s <= bound:
-                self.buckets[index] += 1
+        self.latency.observe(elapsed_s)
 
     def to_dict(self) -> dict:
-        histogram = {f"{bound:g}": count
-                     for bound, count in zip(LATENCY_BUCKETS_S, self.buckets)}
-        histogram["+Inf"] = self.count
+        count = self.latency.count
         return {
-            "count": self.count,
+            "count": count,
             "errors": self.errors,
-            "total_s": self.total_s,
+            "total_s": self.latency.total,
             "max_s": self.max_s,
-            "mean_s": self.total_s / self.count if self.count else 0.0,
+            "mean_s": self.latency.total / count if count else 0.0,
             "by_status": {str(code): count
                           for code, count in sorted(self.by_status.items())},
-            "latency_le_s": histogram,
+            "latency_le_s": self.latency.le_dict(),
         }
 
 

@@ -8,6 +8,7 @@ live in ``tests/conftest.py``.
 
 from __future__ import annotations
 
+import collections
 import threading
 from dataclasses import dataclass
 
@@ -80,6 +81,12 @@ register_payload_type(EchoResult)
 #: in the running state deterministically, observe it, then release it.
 GATES: dict[str, threading.Event] = {}
 
+#: Engine-invocation counters: ``CALLS["run"]`` counts per-design runner
+#: executions (the batch runner routes through the same path), and
+#: ``CALLS["batch"]`` counts batch-runner calls.  Singleflight/coalescing
+#: tests reset this (``CALLS.clear()``) and assert exact execution counts.
+CALLS: collections.Counter = collections.Counter()
+
 
 def open_gate(name: str) -> threading.Event:
     """(Re)create the named gate in the closed state."""
@@ -88,10 +95,14 @@ def open_gate(name: str) -> threading.Event:
 
 
 def _run_echo(design: MixerDesign, *, value: float = 1.0, fail: bool = False,
-              gate: str = "", drop_nth: int = -1) -> EchoResult:
+              gate: str = "", drop_nth: int = -1, workers: int | None = None,
+              cache: object = None) -> EchoResult:
     # drop_nth only means something to the batch runner; the solo runner
     # accepts it so single-member echo_batch groups still dispatch.
-    del drop_nth
+    # workers/cache are accepted (and ignored) so the ``echo_opts`` entry
+    # can declare accepts_workers/accepts_cache for option-identity tests.
+    del drop_nth, workers, cache
+    CALLS["run"] += 1
     if gate:
         report_progress(stage="echo", gate=gate, checkpoint=1)
         GATES[gate].wait(timeout=30)
@@ -101,8 +112,11 @@ def _run_echo(design: MixerDesign, *, value: float = 1.0, fail: bool = False,
 
 
 def _batch_echo(designs, *, value: float = 1.0, fail: bool = False,
-                gate: str = "", drop_nth: int = -1):
+                gate: str = "", drop_nth: int = -1,
+                workers: int | None = None, cache: object = None):
     """Batch runner that can drop (or ``None`` out) one member's result."""
+    del workers, cache
+    CALLS["batch"] += 1
     results = {}
     for index, (fingerprint, design) in enumerate(designs.items()):
         if index == drop_nth:
@@ -137,5 +151,12 @@ def echo_registry() -> ExperimentRegistry:
         result_type=EchoResult, report=_report_echo,
         default_grid={**grid, "drop_nth": -1},
         accepts_workers=False, accepts_cache=False,
+        batch_runner=_batch_echo))
+    registry.register(ExperimentSpec(
+        name="echo_opts", artefact="test fixture",
+        summary="batchable runner accepting workers/cache options",
+        runner=_run_echo, result_type=EchoResult, report=_report_echo,
+        default_grid={**grid, "drop_nth": -1},
+        accepts_workers=True, accepts_cache=True,
         batch_runner=_batch_echo))
     return registry

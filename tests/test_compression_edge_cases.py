@@ -162,9 +162,10 @@ class TestInterceptSlopeIdentities:
             self, p_in, p_fund, p_im3):
         # Whenever the IM3 product is weaker than the fundamental the
         # extrapolated intercept lies above the measurement input power.
-        # The gap must be resolvable in float64: a sub-ulp difference (e.g.
-        # p_im3 = -6.6e-221 against p_fund = 0.0) makes (p_fund - p_im3)/2
-        # round to exactly zero, so the strict inequality cannot hold.
-        if p_im3 < p_fund and (p_fund - p_im3) / 2.0 > 0.0:
+        # The gap must be resolvable in float64 *at p_in's magnitude*: a
+        # tiny difference (e.g. p_im3 = -4e-169 against p_fund = 0.0) is
+        # positive in isolation but vanishes below one ulp when added to
+        # p_in = -1.0, so the strict inequality cannot hold there.
+        if p_im3 < p_fund and p_in + 0.5 * (p_fund - p_im3) > p_in:
             assert iip3_from_powers(p_in, p_fund, p_im3) > p_in
             assert iip2_from_powers(p_in, p_fund, p_im3) > p_in
